@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark harness.
+
+Ensures the benchmarks directory itself is importable (for ``helpers``)
+and keeps pytest-benchmark output compact.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

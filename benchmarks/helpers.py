@@ -1,0 +1,39 @@
+"""Shared utilities for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper as printed
+rows and writes them under ``results/`` so EXPERIMENTS.md can reference
+the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["results_dir", "emit", "fresh_model"]
+
+
+def results_dir() -> str:
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under results/<name>.txt."""
+    print()
+    print(text)
+    with open(os.path.join(results_dir(), f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def fresh_model(name: str, num_classes: int = 10):
+    """Untrained model with the benchmark suite's width settings.
+
+    The analytic benches (energy / MACs / FPS / size) depend only on the
+    architecture, so they do not require the pretrained teacher weights.
+    """
+    from repro.experiments import MODEL_WIDTHS
+    from repro.models import create_model
+    return create_model(name, num_classes=num_classes,
+                        width_mult=MODEL_WIDTHS[name], seed=0)

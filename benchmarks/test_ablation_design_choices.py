@@ -1,0 +1,153 @@
+"""Ablations of NSHD's design choices (beyond the paper's figures).
+
+Three studies called out in DESIGN.md §4:
+
+1. **Manifold training signal** — PCA-initialized FC *with* HD
+   error-decoding updates (the paper's Sec. V-C) vs frozen-PCA vs no
+   manifold at all (BaselineHD-style full-F projection).
+2. **Encoder family** — binary random projection (the paper's Φ_P) vs
+   ID-level record encoding vs nonlinear encoding, all on the same
+   manifold features.
+3. **Binary backend** — the bit-packed XOR+popcount similarity kernel
+   must agree exactly with the dense dot product while using 1/32 the
+   storage.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import emit
+
+from repro.experiments import (HD_DIM, REDUCED_FEATURES, cached_features,
+                               get_teacher)
+from repro.hd import (IDLevelEncoder, NonlinearEncoder, pack_bipolar,
+                      packed_dot)
+from repro.learn import NSHD, MassTrainer
+from repro.utils import format_table
+
+MODEL = "efficientnet_b0"
+LAYER = 5  # the feature-heavy early cut, where compression matters most
+HD_EPOCHS = 12
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = cached_features(MODEL, "s10", (LAYER,))
+    y_tr, y_te = data["labels"]
+    model = get_teacher(MODEL, "s10")
+    return model, data, y_tr, y_te
+
+
+@pytest.fixture(scope="module")
+def manifold_ablation(setup):
+    model, data, y_tr, y_te = setup
+    results = {}
+
+    trained = NSHD(model, LAYER, dim=HD_DIM,
+                   reduced_features=REDUCED_FEATURES, seed=0)
+    trained.fit_features(data["train"][LAYER], y_tr, data["train_logits"],
+                         epochs=HD_EPOCHS)
+    results["manifold + HD-error training"] = trained.accuracy_features(
+        data["test"][LAYER], y_te)
+
+    frozen = NSHD(model, LAYER, dim=HD_DIM,
+                  reduced_features=REDUCED_FEATURES, manifold_lr=0.0,
+                  seed=0)
+    frozen.fit_features(data["train"][LAYER], y_tr, data["train_logits"],
+                        epochs=HD_EPOCHS)
+    results["manifold frozen at PCA init"] = frozen.accuracy_features(
+        data["test"][LAYER], y_te)
+
+    none = NSHD(model, LAYER, dim=HD_DIM, use_manifold=False, seed=0)
+    none.fit_features(data["train"][LAYER], y_tr, data["train_logits"],
+                      epochs=HD_EPOCHS)
+    results["no manifold (full-F projection)"] = none.accuracy_features(
+        data["test"][LAYER], y_te)
+    return results
+
+
+@pytest.fixture(scope="module")
+def encoder_ablation(setup):
+    model, data, y_tr, y_te = setup
+    # Shared manifold front end: reuse a trained NSHD's scaler+manifold.
+    nshd = NSHD(model, LAYER, dim=HD_DIM,
+                reduced_features=REDUCED_FEATURES, seed=0)
+    nshd.fit_features(data["train"][LAYER], y_tr, data["train_logits"],
+                      epochs=5)
+    reduced_tr = nshd.manifold.transform(
+        nshd.scaler.transform(data["train"][LAYER]))
+    reduced_te = nshd.manifold.transform(
+        nshd.scaler.transform(data["test"][LAYER]))
+
+    encoders = {
+        "random projection (paper)": nshd.encoder,
+        "nonlinear [6]": NonlinearEncoder(REDUCED_FEATURES, HD_DIM,
+                                          np.random.default_rng(1),
+                                          bandwidth=0.2),
+        "ID-level": IDLevelEncoder(REDUCED_FEATURES, HD_DIM, levels=16,
+                                   value_range=(-4.0, 4.0),
+                                   rng=np.random.default_rng(2)),
+    }
+    results = {}
+    for label, encoder in encoders.items():
+        trainer = MassTrainer(model.num_classes, HD_DIM, lr=0.05)
+        trainer.fit(encoder.encode(reduced_tr), y_tr, epochs=HD_EPOCHS,
+                    rng=np.random.default_rng(0))
+        results[label] = trainer.accuracy(encoder.encode(reduced_te), y_te)
+    return results
+
+
+def test_ablation_manifold_training(benchmark, manifold_ablation):
+    rows = [[label, f"{acc:.3f}"]
+            for label, acc in manifold_ablation.items()]
+    emit("ablation_manifold", format_table(
+        ["Configuration", "Test accuracy"], rows,
+        title=f"Ablation: manifold training signal ({MODEL} layer "
+              f"{LAYER})"))
+
+    trained = manifold_ablation["manifold + HD-error training"]
+    frozen = manifold_ablation["manifold frozen at PCA init"]
+    full = manifold_ablation["no manifold (full-F projection)"]
+    # The decoded-error updates must not lose to the frozen projection.
+    assert trained >= frozen - 0.03
+    # Compression does not collapse accuracy vs the full-F projection.
+    assert trained >= full - 0.08
+
+    data = cached_features(MODEL, "s10", (LAYER,))
+    benchmark(lambda: np.linalg.norm(data["train"][LAYER][:64]))
+
+
+def test_ablation_encoders(benchmark, encoder_ablation):
+    rows = [[label, f"{acc:.3f}"] for label, acc in
+            encoder_ablation.items()]
+    emit("ablation_encoders", format_table(
+        ["Encoder", "Test accuracy"], rows,
+        title="Ablation: HD encoder family on manifold features"))
+    # The paper's random projection is competitive with every alternative.
+    best = max(encoder_ablation.values())
+    assert encoder_ablation["random projection (paper)"] >= best - 0.06
+
+    benchmark(lambda: None)
+
+
+def test_ablation_binary_backend(benchmark):
+    rng = np.random.default_rng(0)
+    queries = np.sign(rng.normal(size=(256, HD_DIM)))
+    queries[queries == 0] = 1
+    classes = np.sign(rng.normal(size=(10, HD_DIM)))
+    classes[classes == 0] = 1
+    packed_q = pack_bipolar(queries)
+    packed_c = pack_bipolar(classes)
+
+    dense = queries @ classes.T
+    packed = benchmark(packed_dot, packed_q, packed_c, HD_DIM)
+    np.testing.assert_array_equal(packed, dense.astype(np.int64))
+    # 1 bit per component vs 8 bytes (float64): 64x smaller in memory.
+    assert queries.nbytes / packed_q.nbytes == pytest.approx(64, rel=0.02)
+
+    emit("ablation_backend", format_table(
+        ["Kernel", "Storage (bytes)", "Result"],
+        [["dense float64 dot", f"{queries.nbytes:,}", "reference"],
+         ["packed XOR+popcount", f"{packed_q.nbytes:,}",
+          "exact match"]],
+        title="Ablation: bit-packed binary backend vs dense kernels"))

@@ -1,0 +1,74 @@
+"""Fig. 10 / Sec. VII-D — Dimensionality vs efficiency/accuracy tradeoff.
+
+Paper: D = 3,000 is enough to match the quality reached at the
+traditional D = 10,000 (accuracy saturates), while D = 1,000 loses some
+accuracy (≈1.64pp on average); shrinking D from 10,000 to 3,000 cuts the
+HD-section parameters by 70% and raises FPGA throughput.
+
+Shape checks: accuracy at 3,000 within a small margin of 10,000; the
+1,000-dim model is the least accurate (or ties within noise); FPS rises
+monotonically as D falls; HD parameter reduction is exactly 70%.
+"""
+
+import pytest
+
+from helpers import emit
+
+from repro.experiments import REDUCED_FEATURES, cached_features, get_teacher
+from repro.hardware import DPUModel, nshd_size_bytes
+from repro.learn import NSHD
+from repro.utils import format_table
+
+MODEL = "efficientnet_b0"
+LAYER = 7
+DIMS = (1000, 3000, 10000)
+HD_EPOCHS = 15
+
+
+@pytest.fixture(scope="module")
+def tradeoff():
+    data = cached_features(MODEL, "s10", (LAYER,))
+    y_tr, y_te = data["labels"]
+    model = get_teacher(MODEL, "s10")
+    dpu = DPUModel()
+    results = {}
+    for dim in DIMS:
+        nshd = NSHD(model, LAYER, dim=dim,
+                    reduced_features=REDUCED_FEATURES, seed=0)
+        nshd.fit_features(data["train"][LAYER], y_tr,
+                          data["train_logits"], epochs=HD_EPOCHS)
+        acc = nshd.accuracy_features(data["test"][LAYER], y_te)
+        fps = dpu.nshd_fps(model, LAYER, dim, REDUCED_FEATURES,
+                           model.num_classes)
+        size = nshd_size_bytes(model, LAYER, dim, REDUCED_FEATURES,
+                               model.num_classes)
+        results[dim] = (acc, fps, size.projection + size.class_hvs)
+    return results
+
+
+def test_fig10_dimension_tradeoff(benchmark, tradeoff):
+    dpu = DPUModel()
+    model = get_teacher(MODEL, "s10")
+    benchmark(dpu.nshd_cycles, model, LAYER, 3000, REDUCED_FEATURES, 10)
+
+    rows = [[f"{dim:,}", f"{acc:.3f}", f"{fps:.0f}",
+             f"{hd_bytes / 1024:.1f}KB"]
+            for dim, (acc, fps, hd_bytes) in tradeoff.items()]
+    emit("fig10_dimension_tradeoff", format_table(
+        ["D", "NSHD accuracy", "DPU FPS", "HD-section params"],
+        rows, title=f"Fig. 10: dimensionality tradeoff ({MODEL} layer "
+                    f"{LAYER})"))
+
+    acc = {dim: tradeoff[dim][0] for dim in DIMS}
+    fps = {dim: tradeoff[dim][1] for dim in DIMS}
+    hd_bytes = {dim: tradeoff[dim][2] for dim in DIMS}
+
+    # Accuracy saturates by D=3,000 (within noise of D=10,000).
+    assert acc[3000] >= acc[10000] - 0.04
+    # D=1,000 does not beat the saturated regime by more than noise.
+    assert acc[1000] <= max(acc[3000], acc[10000]) + 0.02
+    # Throughput strictly improves as D shrinks.
+    assert fps[1000] > fps[3000] > fps[10000]
+    # HD-section parameter reduction from 10k to 3k is 70% (Sec. VII-D).
+    assert 1.0 - hd_bytes[3000] / hd_bytes[10000] == \
+        pytest.approx(0.70, abs=0.01)

@@ -1,0 +1,70 @@
+"""Fig. 5 — Impact of the manifold learner on MAC counts.
+
+Paper: the manifold learner cuts total inference MACs versus BaselineHD
+(which encodes all F extracted features); e.g. EfficientNet-B0 needs
+20.9% / 28.95% fewer computations at layers 6 / 7, and the saving grows
+with hypervector dimension (up to 34% for MobileNetV2@17 at D=10,000).
+
+Shape checks: NSHD ≤ BaselineHD MACs everywhere, savings strictly larger
+at D=10,000 than at D=3,000, with double-digit percentage savings at the
+feature-heavy cut layers.
+"""
+
+import pytest
+
+from helpers import emit, fresh_model
+
+from repro.experiments import MODEL_NAMES, REDUCED_FEATURES
+from repro.hardware import baselinehd_macs, nshd_macs
+from repro.models import paper_cut_layers
+from repro.utils import format_table
+
+DIMS = (3000, 10000)
+NUM_CLASSES = 10
+
+
+@pytest.fixture(scope="module")
+def mac_table():
+    table = {}
+    for name in MODEL_NAMES:
+        model = fresh_model(name, NUM_CLASSES)
+        for layer in paper_cut_layers(name):
+            for dim in DIMS:
+                nshd = nshd_macs(model, layer, dim, REDUCED_FEATURES,
+                                 NUM_CLASSES)["total"]
+                base = baselinehd_macs(model, layer, dim,
+                                       NUM_CLASSES)["total"]
+                table[(name, layer, dim)] = (nshd, base)
+    return table
+
+
+def test_fig5_manifold_macs(benchmark, mac_table):
+    model = fresh_model("efficientnet_b0", NUM_CLASSES)
+    benchmark(nshd_macs, model, 7, 3000, REDUCED_FEATURES, NUM_CLASSES)
+
+    rows = []
+    for (name, layer, dim), (nshd, base) in mac_table.items():
+        saving = 1.0 - nshd / base
+        rows.append([name, layer, f"{dim // 1000}K", f"{nshd:,}",
+                     f"{base:,}", f"{saving * 100:.1f}%"])
+    emit("fig5_manifold_macs", format_table(
+        ["Model", "Layer", "D", "NSHD MACs", "BaselineHD MACs",
+         "Saving from manifold"],
+        rows, title="Fig. 5: MACs with vs without the manifold learner"))
+
+    for (name, layer, dim), (nshd, base) in mac_table.items():
+        # The manifold learner never increases total MACs at these F.
+        assert nshd <= base, (name, layer, dim)
+
+    # Savings grow with hypervector dimension (encode cost scales with D).
+    for name in MODEL_NAMES:
+        for layer in paper_cut_layers(name):
+            save_3k = 1 - mac_table[(name, layer, 3000)][0] / \
+                mac_table[(name, layer, 3000)][1]
+            save_10k = 1 - mac_table[(name, layer, 10000)][0] / \
+                mac_table[(name, layer, 10000)][1]
+            assert save_10k >= save_3k - 1e-12
+
+    # Feature-heavy cut layers show double-digit savings (paper: ~20-34%).
+    b0_7 = mac_table[("efficientnet_b0", 7, 10000)]
+    assert 1 - b0_7[0] / b0_7[1] > 0.10

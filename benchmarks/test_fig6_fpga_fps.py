@@ -1,0 +1,69 @@
+"""Fig. 6 — Throughput (FPS) of the FPGA implementation.
+
+Paper: on the ZCU104 DPU, NSHD (earliest evaluated cut layer per model)
+improves inference throughput over the full CNN by 38.14% on average,
+across hypervector dimensions.
+
+Shape checks: NSHD FPS > CNN FPS for every model at every D, FPS falls
+as D grows, and the average improvement is tens of percent.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import emit, fresh_model
+
+from repro.experiments import MODEL_NAMES, REDUCED_FEATURES
+from repro.hardware import DPUModel
+from repro.models import paper_cut_layers
+from repro.utils import format_table
+
+DIMS = (1000, 3000, 10000)
+NUM_CLASSES = 10
+
+
+@pytest.fixture(scope="module")
+def fps_table():
+    dpu = DPUModel()
+    table = {}
+    for name in MODEL_NAMES:
+        model = fresh_model(name, NUM_CLASSES)
+        layer = paper_cut_layers(name)[0]
+        cnn_fps = dpu.cnn_fps(model)
+        nshd_fps = {dim: dpu.nshd_fps(model, layer, dim, REDUCED_FEATURES,
+                                      NUM_CLASSES) for dim in DIMS}
+        table[name] = (layer, cnn_fps, nshd_fps)
+    return table
+
+
+def test_fig6_fpga_throughput(benchmark, fps_table):
+    dpu = DPUModel()
+    model = fresh_model("vgg16", NUM_CLASSES)
+    benchmark(dpu.nshd_cycles, model, 27, 3000, REDUCED_FEATURES,
+              NUM_CLASSES)
+
+    rows = []
+    improvements = []
+    for name, (layer, cnn_fps, nshd_fps) in fps_table.items():
+        for dim in DIMS:
+            improvement = nshd_fps[dim] / cnn_fps - 1.0
+            improvements.append(improvement)
+            rows.append([name, layer, f"{dim // 1000}K",
+                         f"{cnn_fps:.0f}", f"{nshd_fps[dim]:.0f}",
+                         f"{improvement * 100:+.1f}%"])
+    mean_improvement = float(np.mean(improvements))
+    rows.append(["average", "-", "-", "-", "-",
+                 f"{mean_improvement * 100:+.1f}%"])
+    emit("fig6_fpga_fps", format_table(
+        ["Model", "Cut layer", "D", "CNN FPS", "NSHD FPS", "Improvement"],
+        rows, title="Fig. 6: DPU inference throughput (paper avg +38.14%)"))
+
+    for name, (layer, cnn_fps, nshd_fps) in fps_table.items():
+        # NSHD outperforms the CNN at every dimension setting.
+        for dim in DIMS:
+            assert nshd_fps[dim] > cnn_fps, (name, dim)
+        # Higher D costs throughput.
+        assert nshd_fps[1000] > nshd_fps[3000] > nshd_fps[10000]
+
+    # Average improvement is tens of percent (paper: 38.14%).
+    assert mean_improvement > 0.10

@@ -1,0 +1,124 @@
+"""Fig. 7 — Accuracy comparison: VanillaHD / BaselineHD / NSHD / CNN.
+
+Paper: VanillaHD (nonlinear encoding on raw pixels) is far below every
+CNN-feature system (39.88% / 19.7% on CIFAR-10/100); NSHD beats
+BaselineHD thanks to distillation, reaches the CNN's accuracy at
+sufficient cut depth, and can outperform it at late layers.
+
+Shape checks: VanillaHD ≪ CNN; NSHD ≫ VanillaHD; NSHD ≥ BaselineHD on
+average; NSHD within a small margin of (or above) the CNN at its deepest
+evaluated layer; the many-class dataset is harder for every system.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import emit
+
+from repro.experiments import (DATASETS, HD_DIM, MODEL_NAMES,
+                               REDUCED_FEATURES, cached_features,
+                               get_teacher, load_dataset)
+from repro.learn import NSHD, BaselineHD, VanillaHD
+from repro.models import paper_cut_layers
+from repro.utils import format_table
+
+HD_EPOCHS = 15
+
+#: (dataset, models) evaluated; the many-class dataset restricts to the
+#: strongest teacher to bound the one-time pretraining cost (see
+#: scripts/pretrain_teachers.py).
+EVALS = {"s10": MODEL_NAMES, "s25": ("vgg16",)}
+
+
+def run_systems(dataset_key, model_name):
+    """Accuracies of NSHD / BaselineHD / CNN per cut layer."""
+    layers = paper_cut_layers(model_name)
+    data = cached_features(model_name, dataset_key, layers)
+    y_tr, y_te = data["labels"]
+    model = get_teacher(model_name, dataset_key)
+    cnn_acc = float((data["test_logits"].argmax(axis=1) == y_te).mean())
+
+    results = {}
+    for layer in layers:
+        nshd = NSHD(model, layer, dim=HD_DIM,
+                    reduced_features=REDUCED_FEATURES, seed=0)
+        nshd.fit_features(data["train"][layer], y_tr,
+                          data["train_logits"], epochs=HD_EPOCHS)
+        baseline = BaselineHD(model, layer, dim=HD_DIM, seed=0)
+        baseline.fit_features(data["train"][layer], y_tr, epochs=HD_EPOCHS)
+        results[layer] = {
+            "nshd": nshd.accuracy_features(data["test"][layer], y_te),
+            "baseline": baseline.accuracy_features(data["test"][layer],
+                                                   y_te),
+        }
+    return cnn_acc, results
+
+
+@pytest.fixture(scope="module")
+def accuracy_table():
+    table = {}
+    for dataset_key, models in EVALS.items():
+        x_tr, y_tr, x_te, y_te = load_dataset(dataset_key)
+        vanilla = VanillaHD(DATASETS[dataset_key].num_classes, dim=HD_DIM,
+                            seed=0)
+        vanilla.fit(x_tr, y_tr, epochs=HD_EPOCHS)
+        table[(dataset_key, "vanilla")] = vanilla.accuracy(x_te, y_te)
+        for name in models:
+            table[(dataset_key, name)] = run_systems(dataset_key, name)
+    return table
+
+
+def test_fig7_accuracy_comparison(benchmark, accuracy_table):
+    # Benchmark one HD retraining epoch (the per-iteration training cost).
+    data = cached_features("vgg16", "s10", (27,))
+    y_tr, _ = data["labels"]
+    model = get_teacher("vgg16", "s10")
+    nshd = NSHD(model, 27, dim=HD_DIM, reduced_features=REDUCED_FEATURES,
+                seed=0)
+    benchmark(nshd.fit_features, data["train"][27], y_tr,
+              data["train_logits"], 1)
+
+    rows = []
+    for dataset_key, models in EVALS.items():
+        vanilla_acc = accuracy_table[(dataset_key, "vanilla")]
+        rows.append([dataset_key, "(raw pixels)", "-",
+                     f"{vanilla_acc:.3f}", "-", "-", "-"])
+        for name in models:
+            cnn_acc, per_layer = accuracy_table[(dataset_key, name)]
+            for layer, accs in per_layer.items():
+                rows.append([dataset_key, name, layer, "-",
+                             f"{accs['baseline']:.3f}",
+                             f"{accs['nshd']:.3f}", f"{cnn_acc:.3f}"])
+    emit("fig7_accuracy", format_table(
+        ["Dataset", "Model", "Layer", "VanillaHD", "BaselineHD", "NSHD",
+         "CNN"], rows, title="Fig. 7: accuracy comparison"))
+
+    for dataset_key, models in EVALS.items():
+        vanilla_acc = accuracy_table[(dataset_key, "vanilla")]
+        cnn_accs, nshd_accs, margins = [], [], []
+        for name in models:
+            cnn_acc, per_layer = accuracy_table[(dataset_key, name)]
+            cnn_accs.append(cnn_acc)
+            deepest = max(per_layer)
+            # NSHD reaches its own teacher's ballpark at the deepest cut
+            # layer (the paper's "similar accuracy levels at least").
+            assert per_layer[deepest]["nshd"] >= cnn_acc - 0.12, \
+                (dataset_key, name)
+            for layer, accs in per_layer.items():
+                nshd_accs.append(accs["nshd"])
+                margins.append(accs["nshd"] - accs["baseline"])
+        # VanillaHD is far below the (best) CNN — the paper's headline
+        # contrast.  Our weakest scaled teachers sit closer to VanillaHD
+        # than the paper's ImageNet-grade CNNs do (see EXPERIMENTS.md).
+        assert vanilla_acc < max(cnn_accs) - 0.10, dataset_key
+        # NSHD beats raw-pixel HD decisively (in relative terms it is
+        # at least ~2x VanillaHD on both datasets).
+        assert max(nshd_accs) > vanilla_acc + 0.10, dataset_key
+        assert max(nshd_accs) > 1.5 * vanilla_acc, dataset_key
+        # ...and is at least as good as BaselineHD on average (Fig. 7's
+        # "NSHD outperforms BaselineHD" aggregated over layers).
+        assert float(np.mean(margins)) > -0.02, dataset_key
+
+    # More classes is harder, as with CIFAR-10 vs CIFAR-100.
+    assert accuracy_table[("s25", "vanilla")] < \
+        accuracy_table[("s10", "vanilla")]

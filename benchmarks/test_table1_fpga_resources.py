@@ -1,0 +1,45 @@
+"""Table I — Design acceleration on Xilinx ZCU104.
+
+Paper: the Vitis-AI DPU core occupies 84.9K/230.4K LUT (36.87%),
+146.5K/460.8K FF (31.80%), 224/312 BRAM (71.79%), 40/96 URAM (41.67%),
+844/1728 DSP (48.84%) at 200 MHz and 4.427 W.
+
+This bench regenerates the ledger from the DPU configuration model and
+checks every cell.
+"""
+
+import pytest
+
+from helpers import emit
+
+from repro.hardware import ZCU104_DPU
+from repro.utils import format_table
+
+PAPER_UTILIZATION = {
+    "LUT": 36.87,
+    "FF": 31.80,
+    "BRAM": 71.79,
+    "URAM": 41.67,
+    "DSP": 48.84,
+}
+
+
+def test_table1_resource_utilization(benchmark):
+    util = benchmark(ZCU104_DPU.utilization_table)
+
+    rows = []
+    for kind, usage in ZCU104_DPU.resources.items():
+        measured_pct = util[kind] * 100.0
+        rows.append([kind, f"{usage.used:g}", f"{usage.available:g}",
+                     f"{measured_pct:.2f}%", f"{PAPER_UTILIZATION[kind]}%"])
+    rows.append(["Frequency", "-", "-",
+                 f"{ZCU104_DPU.frequency_hz / 1e6:.0f}MHz", "200MHz"])
+    rows.append(["Power", "-", "-", f"{ZCU104_DPU.power_w}W", "4.427W"])
+    emit("table1_fpga_resources", format_table(
+        ["Resource", "Used", "Available", "Utilization", "Paper"], rows,
+        title="Table I: DPU resource utilization on ZCU104"))
+
+    for kind, paper_pct in PAPER_UTILIZATION.items():
+        assert util[kind] * 100.0 == pytest.approx(paper_pct, abs=0.05)
+    assert ZCU104_DPU.frequency_hz == 200e6
+    assert ZCU104_DPU.power_w == pytest.approx(4.427)

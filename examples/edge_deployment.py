@@ -1,0 +1,80 @@
+"""Edge-deployment planning with the hardware cost models.
+
+The paper motivates NSHD for resource-limited edge devices (Sec. I).
+This example sweeps every cut layer of a chosen CNN and reports, for
+each candidate deployment: inference MACs, estimated Xavier-class GPU
+energy, ZCU104 DPU throughput, and model size — then recommends the
+shallowest cut whose projected size fits a deployment budget.
+
+Purely analytic (no training), so it runs in seconds.
+"""
+
+import argparse
+
+from repro.experiments import HD_DIM, REDUCED_FEATURES
+from repro.hardware import (DPUModel, cnn_inference_energy,
+                            cnn_size_bytes, energy_improvement,
+                            nshd_inference_energy, nshd_macs,
+                            nshd_size_bytes)
+from repro.models import create_model, paper_cut_layers
+from repro.utils import format_table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="mobilenetv2",
+                        choices=["vgg16", "mobilenetv2", "efficientnet_b0",
+                                 "efficientnet_b7"])
+    parser.add_argument("--classes", type=int, default=10)
+    parser.add_argument("--size-budget-mb", type=float, default=1.0,
+                        help="deployment flash/DRAM budget for the model")
+    args = parser.parse_args()
+
+    model = create_model(args.model, num_classes=args.classes,
+                         width_mult=0.25, seed=0)
+    dpu = DPUModel()
+    cnn_energy = cnn_inference_energy(model)["total"]
+    cnn_mb = cnn_size_bytes(model).total_mb
+    cnn_fps = dpu.cnn_fps(model)
+
+    rows = []
+    recommendation = None
+    candidate_layers = sorted(set(
+        list(paper_cut_layers(args.model)) +
+        [model.num_feature_layers() - 1]))
+    for layer in candidate_layers:
+        stages = nshd_macs(model, layer, HD_DIM, REDUCED_FEATURES,
+                           args.classes)
+        energy = nshd_inference_energy(model, layer, HD_DIM,
+                                       REDUCED_FEATURES,
+                                       args.classes)["total"]
+        fps = dpu.nshd_fps(model, layer, HD_DIM, REDUCED_FEATURES,
+                           args.classes)
+        size_mb = nshd_size_bytes(model, layer, HD_DIM, REDUCED_FEATURES,
+                                  args.classes).total_mb
+        saving = energy_improvement(cnn_energy, energy)
+        rows.append([f"NSHD@{layer}", f"{stages['total'] / 1e6:.2f}M",
+                     f"{saving * 100:+.1f}%", f"{fps:.0f}",
+                     f"{size_mb:.2f}MB"])
+        if recommendation is None and size_mb <= args.size_budget_mb:
+            recommendation = (layer, size_mb, saving)
+    rows.append(["Full CNN", "-", "+0.0%", f"{cnn_fps:.0f}",
+                 f"{cnn_mb:.2f}MB"])
+
+    print(format_table(
+        ["Deployment", "MACs/inf", "Energy vs CNN", "DPU FPS", "Size"],
+        rows, title=f"Edge deployment options for {args.model} "
+                    f"({args.classes} classes)"))
+
+    if recommendation:
+        layer, size_mb, saving = recommendation
+        print(f"\nRecommendation: cut at layer {layer} — fits the "
+              f"{args.size_budget_mb:.1f}MB budget at {size_mb:.2f}MB and "
+              f"saves {saving * 100:.0f}% energy vs the full CNN.")
+    else:
+        print(f"\nNo NSHD configuration fits {args.size_budget_mb:.1f}MB; "
+              f"consider a smaller width multiplier or lower D.")
+
+
+if __name__ == "__main__":
+    main()

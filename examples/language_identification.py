@@ -1,0 +1,79 @@
+"""Language identification with HD n-gram encoding (cited task [13]).
+
+The paper grounds HD computing's track record in language recognition
+(Imani et al., "Low-power sparse hyperdimensional encoder for language
+recognition").  This example reproduces that task in miniature with the
+library's sequence encoder: per-language class hypervectors are bundles
+of n-gram-encoded training sentences, and identification is nearest
+class hypervector — the same centroid+similarity machinery NSHD uses
+for images.
+
+Languages are synthetic letter distributions (no corpora available
+offline), which preserves the task structure: distinct character-level
+n-gram statistics per class.
+"""
+
+import numpy as np
+
+from repro.hd import dot_similarity
+from repro.hd.sequences import SequenceEncoder
+from repro.learn import MassTrainer
+
+LANGUAGES = {
+    # letter pool, doubled-letter habit — crude phonotactic signatures
+    "vowelish": "aeiouaeioulnr",
+    "nordic": "aeioukjhswtv",
+    "techno": "qxzkwvbdgpt",
+    "rollic": "rrllmmnnaeio",
+}
+SENTENCE_LENGTH = 50
+TRAIN_SENTENCES = 30
+TEST_SENTENCES = 15
+
+
+def sample_sentence(pool: str, rng: np.random.Generator) -> str:
+    letters = rng.choice(list(pool), size=SENTENCE_LENGTH)
+    return "".join(letters)
+
+
+def main():
+    rng = np.random.default_rng(0)
+    encoder = SequenceEncoder(dim=4096, ngram=3,
+                              rng=np.random.default_rng(1))
+    names = list(LANGUAGES)
+
+    print("Encoding training sentences ...")
+    train_hvs, train_labels = [], []
+    for label, name in enumerate(names):
+        for _ in range(TRAIN_SENTENCES):
+            train_hvs.append(encoder.encode(
+                sample_sentence(LANGUAGES[name], rng)))
+            train_labels.append(label)
+    train_hvs = np.stack(train_hvs)
+    train_labels = np.array(train_labels)
+
+    trainer = MassTrainer(len(names), encoder.dim, lr=0.05)
+    trainer.fit(train_hvs, train_labels, epochs=10,
+                rng=np.random.default_rng(2))
+
+    print("Evaluating ...")
+    correct = 0
+    total = 0
+    for label, name in enumerate(names):
+        for _ in range(TEST_SENTENCES):
+            hv = encoder.encode(sample_sentence(LANGUAGES[name], rng))
+            prediction = int(trainer.predict(hv[None, :])[0])
+            correct += prediction == label
+            total += 1
+    print(f"Language identification accuracy: {correct / total:.3f} "
+          f"({len(names)} languages, {total} test sentences)")
+
+    sample = sample_sentence(LANGUAGES["nordic"], rng)
+    sims = trainer.similarities(encoder.encode(sample)[None, :])[0]
+    readout = ", ".join(f"{name}: {sim:+.3f}"
+                        for name, sim in zip(names, sims))
+    print(f"\nSample readout ('{sample[:24]}…'): {readout}")
+
+
+if __name__ == "__main__":
+    main()

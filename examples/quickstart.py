@@ -1,0 +1,69 @@
+"""Quickstart: train an NSHD model end to end on a small synthetic task.
+
+Steps (mirroring the paper's pipeline, Fig. 1):
+ 1. generate a CIFAR-like synthetic dataset;
+ 2. pretrain a small VGG16-style CNN (the "off-the-shelf" teacher);
+ 3. build NSHD: truncate the CNN at a cut layer, compress features with
+    the manifold learner, encode to hypervectors, retrain class
+    hypervectors with knowledge distillation (Algorithm 1);
+ 4. compare accuracy and model size against the full CNN.
+
+Runs in a couple of minutes on CPU.  For the paper-scale experiments see
+``benchmarks/``.
+"""
+
+import numpy as np
+
+from repro.data import make_dataset, normalize_images
+from repro.hardware import cnn_size_bytes, nshd_size_bytes
+from repro.learn import NSHD
+from repro.models import create_model, train_cnn
+
+CUT_LAYER = 27       # ReLU after conv5-2, as in the paper's VGG16 rows
+HD_DIM = 2000
+REDUCED_FEATURES = 32
+
+
+def main():
+    print("1) Generating synthetic CIFAR-like data ...")
+    x_train, y_train, x_test, y_test = make_dataset(
+        num_classes=10, num_train=500, num_test=200, seed=42)
+    x_train, mean, std = normalize_images(x_train)
+    x_test, _, _ = normalize_images(x_test, mean, std)
+
+    print("2) Pretraining the VGG16-style teacher (a few epochs) ...")
+    model = create_model("vgg16", num_classes=10, width_mult=0.125, seed=0)
+    train_cnn(model, x_train, y_train, epochs=8, batch_size=32, lr=2e-3,
+              seed=0, verbose=True)
+    cnn_accuracy = model.accuracy(x_test, y_test)
+
+    print(f"3) Building NSHD (cut layer {CUT_LAYER}, D={HD_DIM}, "
+          f"F^={REDUCED_FEATURES}) and distilling ...")
+    nshd = NSHD(model, layer_index=CUT_LAYER, dim=HD_DIM,
+                reduced_features=REDUCED_FEATURES, temperature=14.0,
+                alpha=0.5, seed=0)
+    history = nshd.fit(x_train, y_train, epochs=12)
+    nshd_accuracy = nshd.accuracy(x_test, y_test)
+
+    print("\n=== Results ===")
+    print(f"CNN  test accuracy : {cnn_accuracy:.3f}")
+    print(f"NSHD test accuracy : {nshd_accuracy:.3f} "
+          f"(train: {history['train_acc'][-1]:.3f})")
+    cnn_mb = cnn_size_bytes(model).total_mb
+    nshd_mb = nshd_size_bytes(model, CUT_LAYER, HD_DIM, REDUCED_FEATURES,
+                              10).total_mb
+    print(f"CNN  model size    : {cnn_mb:.2f} MB")
+    print(f"NSHD model size    : {nshd_mb:.2f} MB "
+          f"({(1 - nshd_mb / cnn_mb) * 100:.0f}% smaller)")
+
+    # Symbolic inference: the query hypervector's similarity to each
+    # class hypervector is the model's entire "reasoning".
+    query = nshd.encode(x_test[:1])
+    sims = nshd.trainer.similarities(query)[0]
+    ranked = np.argsort(sims)[::-1]
+    print(f"\nSample 0: true class {y_test[0]}, "
+          f"top-3 by similarity: {ranked[:3].tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Pretrain and cache every teacher CNN used by the benchmarks.
+
+Run once before ``pytest benchmarks/``; results land in ``.cache/`` and
+all subsequent runs load them instantly.
+"""
+import time
+
+from repro.experiments import MODEL_NAMES, get_teacher, load_dataset
+
+# Accuracy-critical teachers first (vgg16 / efficientnet_b0 drive the
+# Fig. 7-9/11 benches), then the remaining s10 models, then the
+# many-class (CIFAR-100 stand-in) teachers.
+PLAN = [("s10", "vgg16"), ("s10", "efficientnet_b0"),
+        ("s10", "mobilenetv2"), ("s10", "efficientnet_b7"),
+        ("s25", "vgg16")]
+
+for dataset_key, model_name in PLAN:
+    x_tr, y_tr, x_te, y_te = load_dataset(dataset_key)
+    t0 = time.time()
+    model = get_teacher(model_name, dataset_key, verbose=True)
+    acc = model.accuracy(x_te, y_te)
+    print(f"[{dataset_key}] {model_name}: test_acc={acc:.3f} "
+          f"({time.time() - t0:.0f}s)", flush=True)

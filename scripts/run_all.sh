@@ -1,0 +1,11 @@
+#!/bin/bash
+# Full reproduction pipeline: install, pretrain teachers (cached),
+# run the test suite, then regenerate every table/figure.
+set -e
+cd "$(dirname "$0")/.."
+pip install -e . --no-build-isolation 2>/dev/null || python setup.py develop
+python scripts/pretrain_teachers.py
+python scripts/warm_features.py
+pytest tests/ 2>&1 | tee test_output.txt
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+echo "Results tables are under results/"

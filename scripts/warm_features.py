@@ -1,0 +1,45 @@
+"""Warm the feature cache for every teacher as its weights appear.
+
+Polls the teacher cache and, whenever a teacher finishes pretraining,
+runs the one-time multi-layer feature extraction so the accuracy
+benchmarks start instantly.
+"""
+import os
+import time
+
+from repro.experiments import (DATASETS, MODEL_WIDTHS, TEACHER_EPOCHS,
+                               TEACHER_EPOCH_OVERRIDES, cached_features,
+                               load_dataset)
+from repro.models import paper_cut_layers
+from repro.models.trainer import _config_key, default_cache_dir
+
+PLAN = [("s10", "vgg16"), ("s10", "efficientnet_b0"),
+        ("s10", "mobilenetv2"), ("s10", "efficientnet_b7"),
+        ("s25", "vgg16")]
+
+
+def teacher_path(name, dataset_key):
+    cfg = DATASETS[dataset_key]
+    x_tr, _, _, _ = load_dataset(dataset_key)
+    epochs = TEACHER_EPOCH_OVERRIDES.get((name, dataset_key),
+                                         TEACHER_EPOCHS[name])
+    config = {"name": name, "classes": cfg.num_classes,
+              "width": MODEL_WIDTHS[name], "image": 32, "epochs": epochs,
+              "batch": 64, "lr": 2e-3, "seed": cfg.seed, "data": cfg.tag,
+              "n_train": int(len(x_tr))}
+    return os.path.join(default_cache_dir(),
+                        f"{name}-{_config_key(config)}.npz")
+
+
+pending = list(PLAN)
+while pending:
+    for item in list(pending):
+        dataset_key, name = item
+        if os.path.exists(teacher_path(name, dataset_key)):
+            t0 = time.time()
+            cached_features(name, dataset_key, paper_cut_layers(name))
+            print(f"warmed {name}/{dataset_key} in "
+                  f"{time.time() - t0:.0f}s", flush=True)
+            pending.remove(item)
+    time.sleep(15)
+print("all features warmed")

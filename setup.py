@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs in offline environments.
+
+The container has setuptools but no ``wheel`` package and no network, so
+``pip install -e .`` must fall back to ``setup.py develop``.  All project
+metadata lives in ``pyproject.toml``; this file only bridges the two.
+"""
+
+from setuptools import setup
+
+setup()

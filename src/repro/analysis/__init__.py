@@ -1,0 +1,13 @@
+"""Analysis utilities: t-SNE, KD hyperparameter search, interpretability."""
+
+from .hyperparam import (PAPER_ALPHAS, PAPER_TEMPERATURES, GridSearchResult,
+                         kd_grid_search)
+from .interpret import class_alignment, cluster_separation, silhouette_score
+from .tsne import pairwise_affinities, tsne
+
+__all__ = [
+    "tsne", "pairwise_affinities",
+    "GridSearchResult", "kd_grid_search", "PAPER_TEMPERATURES",
+    "PAPER_ALPHAS",
+    "cluster_separation", "class_alignment", "silhouette_score",
+]

@@ -1,0 +1,81 @@
+"""Interpretability metrics for HD learning (Fig. 11's quantification).
+
+Fig. 11 argues visually that retraining pulls sample hypervectors into
+per-class clusters around their class hypervector.  These metrics put
+numbers on the same claim so the benchmark can assert the "after" state
+is tighter than the "before" state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cluster_separation", "class_alignment", "silhouette_score"]
+
+
+def cluster_separation(points: np.ndarray, labels: np.ndarray) -> float:
+    """Ratio of mean inter-class to mean intra-class distance (>1 = good).
+
+    Computed on any embedding (hypervectors or a 2-D t-SNE projection).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    norms = (points ** 2).sum(axis=1)
+    distances = np.sqrt(np.maximum(
+        norms[:, None] + norms[None, :] - 2.0 * points @ points.T, 0.0))
+    same = labels[:, None] == labels[None, :]
+    np.fill_diagonal(same, False)
+    diff = ~ (labels[:, None] == labels[None, :])
+    intra = distances[same].mean() if same.any() else 0.0
+    inter = distances[diff].mean() if diff.any() else 0.0
+    if intra <= 0:
+        return np.inf
+    return float(inter / intra)
+
+
+def class_alignment(hypervectors: np.ndarray, labels: np.ndarray,
+                    class_matrix: np.ndarray) -> float:
+    """Mean margin between own-class and best-other-class similarity.
+
+    Positive values mean sample hypervectors sit closer (in cosine) to
+    their own class hypervector than to any other — the property MASS
+    retraining optimizes.
+    """
+    hypervectors = np.asarray(hypervectors, dtype=np.float64)
+    labels = np.asarray(labels)
+    h_norm = hypervectors / np.maximum(
+        np.linalg.norm(hypervectors, axis=1, keepdims=True), 1e-12)
+    c_norm = class_matrix / np.maximum(
+        np.linalg.norm(class_matrix, axis=1, keepdims=True), 1e-12)
+    sims = h_norm @ c_norm.T
+    own = sims[np.arange(len(labels)), labels]
+    sims_other = sims.copy()
+    sims_other[np.arange(len(labels)), labels] = -np.inf
+    best_other = sims_other.max(axis=1)
+    return float((own - best_other).mean())
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all points (in [-1, 1])."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        raise ValueError("silhouette needs at least two classes")
+    norms = (points ** 2).sum(axis=1)
+    distances = np.sqrt(np.maximum(
+        norms[:, None] + norms[None, :] - 2.0 * points @ points.T, 0.0))
+
+    scores = np.zeros(len(points))
+    for i in range(len(points)):
+        own_mask = labels == labels[i]
+        own_mask_excl = own_mask.copy()
+        own_mask_excl[i] = False
+        if not own_mask_excl.any():
+            scores[i] = 0.0
+            continue
+        a = distances[i, own_mask_excl].mean()
+        b = min(distances[i, labels == other].mean()
+                for other in classes if other != labels[i])
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())

@@ -1,0 +1,17 @@
+"""Synthetic CIFAR-style dataset and loading utilities.
+
+The procedural :class:`SyntheticCIFAR` benchmark stands in for
+CIFAR-10/100 (see DESIGN.md §1 for the substitution rationale).
+"""
+
+from .augment import (add_gaussian_noise, augment_batch, random_crop,
+                      random_horizontal_flip)
+from .loader import iterate_batches, normalize_images, one_hot, train_val_split
+from .synthetic import ClassPrototype, SyntheticCIFAR, make_dataset
+
+__all__ = [
+    "SyntheticCIFAR", "ClassPrototype", "make_dataset",
+    "iterate_batches", "normalize_images", "train_val_split", "one_hot",
+    "random_horizontal_flip", "random_crop", "add_gaussian_noise",
+    "augment_batch",
+]

@@ -1,0 +1,56 @@
+"""Training-time image augmentation (flip / shifted crop / noise)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["random_horizontal_flip", "random_crop", "add_gaussian_noise",
+           "augment_batch"]
+
+
+def random_horizontal_flip(images: np.ndarray, rng: np.random.Generator,
+                           prob: float = 0.5) -> np.ndarray:
+    """Flip a random subset of an NCHW batch along the width axis."""
+    images = images.copy()
+    flips = rng.random(len(images)) < prob
+    images[flips] = images[flips, :, :, ::-1]
+    return images
+
+
+def random_crop(images: np.ndarray, rng: np.random.Generator,
+                padding: int = 2) -> np.ndarray:
+    """Pad reflect then crop back at a random offset (CIFAR-style)."""
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding),
+                             (padding, padding)), mode="reflect")
+    out = np.empty_like(images)
+    offsets_y = rng.integers(0, 2 * padding + 1, size=n)
+    offsets_x = rng.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        out[i] = padded[i, :, offsets_y[i]:offsets_y[i] + h,
+                        offsets_x[i]:offsets_x[i] + w]
+    return out
+
+
+def add_gaussian_noise(images: np.ndarray, rng: np.random.Generator,
+                       std: float = 0.02) -> np.ndarray:
+    """Additive Gaussian pixel noise."""
+    return images + rng.normal(0.0, std, size=images.shape)
+
+
+def augment_batch(images: np.ndarray,
+                  rng: Optional[np.random.Generator] = None,
+                  flip: bool = True, crop: bool = True,
+                  noise_std: float = 0.0) -> np.ndarray:
+    """Standard CIFAR-style augmentation pipeline for CNN training."""
+    rng = rng or np.random.default_rng()
+    out = images
+    if flip:
+        out = random_horizontal_flip(out, rng)
+    if crop:
+        out = random_crop(out, rng)
+    if noise_std > 0:
+        out = add_gaussian_noise(out, rng, noise_std)
+    return out

@@ -1,0 +1,65 @@
+"""Batch iteration and preprocessing utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["iterate_batches", "normalize_images", "train_val_split",
+           "one_hot"]
+
+
+def normalize_images(images: np.ndarray,
+                     mean: Optional[np.ndarray] = None,
+                     std: Optional[np.ndarray] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-channel standardization of NCHW images.
+
+    When ``mean``/``std`` are omitted they are computed from ``images``
+    (use the training-set statistics for the test set).
+    """
+    if mean is None:
+        mean = images.mean(axis=(0, 2, 3))
+    if std is None:
+        std = images.std(axis=(0, 2, 3))
+    std = np.where(std < 1e-8, 1.0, std)
+    normalized = (images - mean.reshape(1, -1, 1, 1)) / std.reshape(1, -1, 1, 1)
+    return normalized, mean, std
+
+
+def iterate_batches(x: np.ndarray, y: np.ndarray, batch_size: int,
+                    rng: Optional[np.random.Generator] = None,
+                    shuffle: bool = True
+                    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` minibatches, optionally shuffled."""
+    if len(x) != len(y):
+        raise ValueError("x and y must have the same length")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(len(x))
+    if shuffle:
+        (rng or np.random.default_rng()).shuffle(indices)
+    for start in range(0, len(x), batch_size):
+        batch = indices[start:start + batch_size]
+        yield x[batch], y[batch]
+
+
+def train_val_split(x: np.ndarray, y: np.ndarray, val_fraction: float,
+                    rng: Optional[np.random.Generator] = None):
+    """Shuffle and split into train/validation parts."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    indices = np.arange(len(x))
+    (rng or np.random.default_rng()).shuffle(indices)
+    cut = int(round(len(x) * (1.0 - val_fraction)))
+    train_idx, val_idx = indices[:cut], indices[cut:]
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels to one-hot rows (float64)."""
+    labels = np.asarray(labels)
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError("labels out of range for num_classes")
+    return np.eye(num_classes)[labels]

@@ -1,0 +1,230 @@
+"""Procedural CIFAR-style image benchmark.
+
+The paper evaluates on CIFAR-10/100, which cannot be downloaded in this
+offline environment.  ``SyntheticCIFAR`` is the documented substitution
+(DESIGN.md §1): a class-conditioned generative model of 32×32×3 images
+engineered to have the three properties the evaluation relies on:
+
+1. **raw-pixel HD encoding performs far below CNN features** — class
+   identity is carried by a *geometric layout* of shapes that appears at a
+   random position, rotation and scale with randomized foreground/
+   background colors and nuisance textures, so no fixed pixel statistic
+   separates the classes;
+2. **a small CNN can learn the classes** — the layout itself (shape kinds,
+   relative arrangement, per-class hue bias) is a coherent local-feature
+   concept of the kind convolutions excel at;
+3. **difficulty scales with class count**, mirroring CIFAR-10 vs -100:
+   more classes share the same pool of shape kinds, so prototypes crowd
+   together.
+
+Every sample is a deterministic function of ``(seed, class, index)`` so
+experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.rng import derive_rng, fresh_rng
+
+__all__ = ["ClassPrototype", "SyntheticCIFAR", "make_dataset"]
+
+_SHAPE_KINDS = ("ellipse", "rectangle", "stripe", "ring", "cross")
+
+
+@dataclass
+class ClassPrototype:
+    """Latent visual concept for one class: a shape layout in a canonical
+    frame plus a weak hue bias.  Everything else (pose, scale, palette
+    brightness, background, texture) is per-sample nuisance."""
+
+    shape_kinds: Tuple[str, ...]    # per-shape geometry family
+    shape_offsets: np.ndarray       # (S, 2) canonical offsets from center
+    shape_sizes: np.ndarray         # (S, 2) half-extents in [0,1] units
+    shape_angles: np.ndarray        # (S,) radians, canonical
+    shape_order: np.ndarray         # (S,) brightness rank of each shape
+    hue: float                      # class hue bias in [0, 1)
+
+
+def _hue_to_rgb(hue: float, saturation: float, value: float) -> np.ndarray:
+    """Minimal HSV→RGB conversion for palette synthesis."""
+    h6 = (hue % 1.0) * 6.0
+    sector = int(h6) % 6
+    frac = h6 - int(h6)
+    p = value * (1 - saturation)
+    q = value * (1 - saturation * frac)
+    t = value * (1 - saturation * (1 - frac))
+    table = [(value, t, p), (q, value, p), (p, value, t),
+             (p, q, value), (t, p, value), (value, p, q)]
+    return np.array(table[sector])
+
+
+class SyntheticCIFAR:
+    """Generator for the synthetic CIFAR-like benchmark.
+
+    Parameters
+    ----------
+    num_classes:
+        10 for the CIFAR-10 stand-in, 100 for the CIFAR-100 stand-in.
+    image_size:
+        Spatial resolution (default 32, matching CIFAR).
+    seed:
+        Root seed; prototypes and all sample-level jitter derive from it.
+    noise:
+        Per-pixel Gaussian noise std.
+    pose_jitter:
+        Scales the per-sample global rotation/translation/scale nuisance
+        (1.0 = default difficulty; 0.0 = canonical pose only).
+    """
+
+    def __init__(self, num_classes: int = 10, image_size: int = 32,
+                 seed: int = 0, noise: float = 0.05,
+                 shapes_per_class: int = 3, pose_jitter: float = 1.0):
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        if image_size < 8:
+            raise ValueError("image_size must be at least 8")
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.seed = seed
+        self.noise = noise
+        self.shapes_per_class = shapes_per_class
+        self.pose_jitter = pose_jitter
+        root = fresh_rng(seed)
+        self.prototypes = [self._make_prototype(derive_rng(root, "proto", c))
+                           for c in range(num_classes)]
+        # Pixel coordinate grid centered at 0, shared across renders.
+        axis = (np.arange(image_size) + 0.5) / image_size - 0.5
+        self._grid_y, self._grid_x = np.meshgrid(axis, axis, indexing="ij")
+
+    # ------------------------------------------------------------------
+    def _make_prototype(self, rng: np.random.Generator) -> ClassPrototype:
+        count = self.shapes_per_class
+        kinds = tuple(rng.choice(_SHAPE_KINDS) for _ in range(count))
+        offsets = rng.uniform(-0.22, 0.22, size=(count, 2))
+        offsets[0] = 0.0  # anchor the first shape at the layout center
+        return ClassPrototype(
+            shape_kinds=kinds,
+            shape_offsets=offsets,
+            shape_sizes=rng.uniform(0.07, 0.2, size=(count, 2)),
+            shape_angles=rng.uniform(0.0, np.pi, size=count),
+            shape_order=rng.permutation(count),
+            hue=rng.uniform(0.0, 1.0),
+        )
+
+    # ------------------------------------------------------------------
+    def render(self, label: int, index: int) -> np.ndarray:
+        """Render one sample of ``label`` with per-``index`` nuisance.
+
+        Returns a CHW float64 image in [0, 1].
+        """
+        if not 0 <= label < self.num_classes:
+            raise ValueError(f"label {label} out of range")
+        proto = self.prototypes[label]
+        rng = fresh_rng((self.seed, "sample", label, index))
+        size = self.image_size
+        jit = self.pose_jitter
+
+        # --- nuisance: background color + random texture grating -------
+        image = np.empty((3, size, size))
+        background = rng.uniform(0.05, 0.95, size=3)
+        image[:] = background[:, None, None]
+        freq = rng.uniform(2.0, 9.0, size=2)
+        phase = rng.uniform(0.0, 2 * np.pi)
+        amplitude = rng.uniform(0.03, 0.12)
+        grating = np.sin(2 * np.pi * (freq[0] * self._grid_y +
+                                      freq[1] * self._grid_x) + phase)
+        image += amplitude * grating[None, :, :] * \
+            rng.uniform(0.3, 1.0, size=3)[:, None, None]
+
+        # --- nuisance: global similarity transform of the layout -------
+        theta = rng.uniform(-np.pi / 5, np.pi / 5) * jit
+        scale = 1.0 + rng.uniform(-0.25, 0.3) * jit
+        shift = rng.uniform(-0.16, 0.16, size=2) * jit
+        cos_t, sin_t = np.cos(theta), np.sin(theta)
+        flip = 1.0 if rng.random() < 0.5 else -1.0
+
+        # --- class signal: palette anchored to the class hue -----------
+        base_value = rng.uniform(0.35, 0.95)
+        saturation = rng.uniform(0.55, 1.0)
+        hue = (proto.hue + rng.normal(0, 0.03)) % 1.0
+
+        for s in np.argsort(proto.shape_order):
+            kind = proto.shape_kinds[s]
+            offset = proto.shape_offsets[s] * scale
+            center_y = cos_t * offset[0] - sin_t * offset[1] * flip + shift[0]
+            center_x = sin_t * offset[0] + cos_t * offset[1] * flip + shift[1]
+            half = proto.shape_sizes[s] * scale * \
+                (1.0 + rng.normal(0, 0.08, size=2) * jit)
+            half = np.maximum(half, 0.02)
+            angle = proto.shape_angles[s] * flip + theta + \
+                rng.normal(0, 0.08) * jit
+            # Brightness rank is part of the concept; exact value is not.
+            rank = proto.shape_order[s] / max(1, self.shapes_per_class - 1)
+            value = np.clip(base_value * (0.45 + 0.7 * rank), 0.1, 1.0)
+            color = np.clip(_hue_to_rgb(hue, saturation, value) +
+                            rng.normal(0, 0.04, size=3), 0, 1)
+
+            dy = self._grid_y - center_y
+            dx = self._grid_x - center_x
+            ry = np.cos(angle) * dy - np.sin(angle) * dx
+            rx = np.sin(angle) * dy + np.cos(angle) * dx
+            if kind == "ellipse":
+                mask = (ry / half[0]) ** 2 + (rx / half[1]) ** 2 <= 1.0
+            elif kind == "rectangle":
+                mask = (np.abs(ry) <= half[0]) & (np.abs(rx) <= half[1])
+            elif kind == "ring":
+                radius2 = (ry / half[0]) ** 2 + (rx / half[1]) ** 2
+                mask = (radius2 <= 1.0) & (radius2 >= 0.35)
+            elif kind == "cross":
+                mask = ((np.abs(ry) <= half[0] * 0.35) &
+                        (np.abs(rx) <= half[1])) | \
+                       ((np.abs(rx) <= half[1] * 0.35) &
+                        (np.abs(ry) <= half[0]))
+            else:  # stripe: bands clipped to the shape's bounding ellipse
+                inside = (ry / half[0]) ** 2 + (rx / half[1]) ** 2 <= 1.3
+                mask = inside & (np.sin(rx / max(half[1], 0.02) * 2.2 * np.pi)
+                                 > 0.15)
+            blend = 0.85
+            image[:, mask] = (1 - blend) * image[:, mask] + \
+                blend * color[:, None]
+
+        image = image + rng.normal(0, self.noise, size=image.shape)
+        return np.clip(image, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def generate(self, num_samples: int, split: str = "train"
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate a balanced dataset split.
+
+        Train and test indices are disjoint by construction (test sample
+        indices are offset by a large constant), so the two splits never
+        share a rendered image.
+        """
+        if split not in ("train", "test"):
+            raise ValueError("split must be 'train' or 'test'")
+        offset = 0 if split == "train" else 10 ** 6
+        labels = np.arange(num_samples) % self.num_classes
+        shuffle_rng = fresh_rng((self.seed, split, "order"))
+        shuffle_rng.shuffle(labels)
+        per_class_counter = np.zeros(self.num_classes, dtype=int)
+        images = np.empty((num_samples, 3, self.image_size, self.image_size))
+        for i, label in enumerate(labels):
+            images[i] = self.render(int(label),
+                                    offset + per_class_counter[label])
+            per_class_counter[label] += 1
+        return images, labels.astype(np.int64)
+
+
+def make_dataset(num_classes: int = 10, num_train: int = 1000,
+                 num_test: int = 200, image_size: int = 32, seed: int = 0,
+                 noise: float = 0.05, pose_jitter: float = 1.0):
+    """Convenience wrapper returning ``(x_train, y_train, x_test, y_test)``."""
+    dataset = SyntheticCIFAR(num_classes=num_classes, image_size=image_size,
+                             seed=seed, noise=noise, pose_jitter=pose_jitter)
+    x_train, y_train = dataset.generate(num_train, "train")
+    x_test, y_test = dataset.generate(num_test, "test")
+    return x_train, y_train, x_test, y_test

@@ -1,0 +1,89 @@
+"""Model-size accounting (Table II: CNN vs NSHD vs BaselineHD).
+
+Sizes follow the paper's storage model:
+
+* CNN weights (and the manifold FC) are 32-bit floats;
+* random-projection item memories are *binary* hypervectors — one bit per
+  component (the constant-memory layout of Sec. VI-A);
+* class hypervectors are 32-bit accumulators (they are retrained
+  incrementally and therefore kept at full precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.base import IndexedCNN
+from .macs import count_parameters
+
+__all__ = ["SizeBreakdown", "cnn_size_bytes", "nshd_size_bytes",
+           "baselinehd_size_bytes"]
+
+_FLOAT_BYTES = 4
+
+
+@dataclass
+class SizeBreakdown:
+    """Byte-level decomposition of one system's learned parameters."""
+
+    trunk: int = 0
+    classifier: int = 0
+    manifold: int = 0
+    projection: int = 0
+    class_hvs: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.trunk + self.classifier + self.manifold +
+                self.projection + self.class_hvs)
+
+    @property
+    def total_mb(self) -> float:
+        return self.total / (1024.0 * 1024.0)
+
+
+def cnn_size_bytes(model: IndexedCNN) -> SizeBreakdown:
+    """Full CNN: every trainable parameter at float32."""
+    trunk = count_parameters(model, model.num_feature_layers() - 1)
+    total = count_parameters(model)
+    return SizeBreakdown(trunk=trunk * _FLOAT_BYTES,
+                         classifier=(total - trunk) * _FLOAT_BYTES)
+
+
+def _binary_projection_bytes(in_features: int, dim: int) -> int:
+    """F×D bipolar item memory stored one bit per component."""
+    return (in_features * dim + 7) // 8
+
+
+def nshd_size_bytes(model: IndexedCNN, layer_index: int, dim: int,
+                    reduced_features: int, num_classes: int
+                    ) -> SizeBreakdown:
+    """NSHD: truncated trunk + manifold FC + binary F̂×D projection + M."""
+    channels, height, width = model.feature_shape(layer_index)
+    if height >= 2 and width >= 2:
+        pooled = channels * (height // 2) * (width // 2)
+    else:
+        pooled = channels * height * width
+    manifold_params = pooled * reduced_features + reduced_features
+    return SizeBreakdown(
+        trunk=count_parameters(model, layer_index) * _FLOAT_BYTES,
+        manifold=manifold_params * _FLOAT_BYTES,
+        projection=_binary_projection_bytes(reduced_features, dim),
+        class_hvs=num_classes * dim * _FLOAT_BYTES,
+    )
+
+
+def baselinehd_size_bytes(model: IndexedCNN, layer_index: int, dim: int,
+                          num_classes: int) -> SizeBreakdown:
+    """BaselineHD: truncated trunk + binary F×D projection + M.
+
+    Without the manifold layer the projection item memory spans the full
+    extracted feature count F, which is what makes BaselineHD larger than
+    NSHD in Table II.
+    """
+    num_features = model.feature_count(layer_index)
+    return SizeBreakdown(
+        trunk=count_parameters(model, layer_index) * _FLOAT_BYTES,
+        projection=_binary_projection_bytes(num_features, dim),
+        class_hvs=num_classes * dim * _FLOAT_BYTES,
+    )

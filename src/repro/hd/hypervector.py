@@ -1,0 +1,96 @@
+"""Hypervector algebra: creation, binding, bundling, permutation.
+
+Hypervectors here follow the bipolar convention used by the NSHD paper and
+most of the HD-computing literature ([2], [4], [12]): components are drawn
+i.i.d. from ``{-1, +1}`` so that two random hypervectors of dimension ``D``
+are quasi-orthogonal (expected dot product 0, standard deviation
+``sqrt(D)``).
+
+All functions operate on numpy arrays whose *last* axis is the hypervector
+dimension, so they apply equally to single hypervectors ``(D,)`` and
+batches ``(n, D)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "random_bipolar", "random_gaussian", "bind", "bundle", "permute",
+    "hard_quantize", "is_bipolar", "expected_overlap_std",
+]
+
+
+def random_bipolar(count: int, dim: int,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Sample ``count`` i.i.d. bipolar hypervectors of dimension ``dim``.
+
+    Returns an ``(count, dim)`` ``float64`` array with entries in {-1, +1}.
+    """
+    if count <= 0 or dim <= 0:
+        raise ValueError("count and dim must be positive")
+    rng = rng or np.random.default_rng()
+    return rng.integers(0, 2, size=(count, dim)).astype(np.float64) * 2.0 - 1.0
+
+
+def random_gaussian(count: int, dim: int,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Sample dense Gaussian base vectors (used by nonlinear encoding)."""
+    if count <= 0 or dim <= 0:
+        raise ValueError("count and dim must be positive")
+    rng = rng or np.random.default_rng()
+    return rng.normal(0.0, 1.0, size=(count, dim))
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind hypervectors (element-wise multiplication).
+
+    Binding associates two hypervectors into a composite that is
+    quasi-orthogonal to both inputs.  For bipolar vectors binding is its
+    own inverse: ``bind(bind(a, b), b) == a``.
+    """
+    return np.multiply(a, b)
+
+
+def bundle(*hvs: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Bundle hypervectors (element-wise addition).
+
+    Bundling superposes hypervectors into a composite that stays similar
+    to each input.  With a single array argument the bundling happens over
+    ``axis``; with several arguments they are summed together.
+    """
+    if not hvs:
+        raise ValueError("bundle requires at least one hypervector")
+    if len(hvs) == 1:
+        return np.sum(hvs[0], axis=axis)
+    total = hvs[0].astype(np.float64, copy=True)
+    for hv in hvs[1:]:
+        total = total + hv
+    return total
+
+
+def permute(hv: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """Cyclically permute the hypervector dimension (sequence binding)."""
+    return np.roll(hv, shifts, axis=-1)
+
+
+def hard_quantize(hv: np.ndarray) -> np.ndarray:
+    """Map a real-valued hypervector to bipolar form: ``x >= 0 -> +1``."""
+    return np.where(hv >= 0, 1.0, -1.0)
+
+
+def is_bipolar(hv: np.ndarray) -> bool:
+    """Whether every component is exactly -1 or +1."""
+    return bool(np.all(np.abs(hv) == 1.0))
+
+
+def expected_overlap_std(dim: int) -> float:
+    """Std-dev of the bit overlap of two random binary HVs (= sqrt(D/4)).
+
+    The paper (Sec. II) notes two random hypervectors of dimension D overlap
+    in D/2 bits with standard deviation sqrt(D/4); this helper exposes that
+    constant for the statistical tests.
+    """
+    return float(np.sqrt(dim / 4.0))

@@ -1,0 +1,107 @@
+"""Associative item memory with cleanup (classic HD data structure).
+
+HD computing systems store the atomic hypervectors of known symbols in an
+*item memory*; noisy query vectors (e.g. the result of unbinding a
+composite) are restored by *cleanup* — nearest-neighbour search over the
+stored items.  NSHD's class-hypervector matrix is a special case; this
+general structure supports the explainability workflows (Sec. VII-E) and
+symbolic manipulation of learned classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .backend import pack_bipolar, packed_dot
+from .hypervector import hard_quantize, is_bipolar, random_bipolar
+from .similarity import cosine_similarity
+
+__all__ = ["ItemMemory"]
+
+
+class ItemMemory:
+    """Name → hypervector store with nearest-neighbour cleanup.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality of every stored item.
+    packed:
+        When ``True`` (and all items are bipolar), lookups run on the
+        bit-packed XOR+popcount backend.
+    """
+
+    def __init__(self, dim: int, packed: bool = False):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.packed = packed
+        self._names: List[str] = []
+        self._vectors: List[np.ndarray] = []
+        self._packed_cache: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, vector: np.ndarray) -> None:
+        """Store a hypervector under ``name`` (names are unique)."""
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected dimension {self.dim}, got "
+                             f"{vector.shape}")
+        if name in self._names:
+            raise KeyError(f"item {name!r} already stored")
+        if self.packed and not is_bipolar(vector):
+            raise ValueError("packed item memory requires bipolar vectors")
+        self._names.append(name)
+        self._vectors.append(vector)
+        self._packed_cache = None
+
+    def add_random(self, name: str,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Create, store and return a fresh random bipolar item."""
+        vector = random_bipolar(1, self.dim, rng)[0]
+        self.add(name, vector)
+        return vector
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self._vectors[self._names.index(name)]
+        except ValueError:
+            raise KeyError(f"unknown item {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def _matrix(self) -> np.ndarray:
+        return np.stack(self._vectors)
+
+    def cleanup(self, query: np.ndarray, top_k: int = 1
+                ) -> List[Tuple[str, float]]:
+        """Restore a noisy query to the ``top_k`` most similar items.
+
+        Returns ``[(name, cosine_similarity)]`` sorted best-first.
+        """
+        if not self._names:
+            raise RuntimeError("item memory is empty")
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape != (self.dim,):
+            raise ValueError(f"expected dimension {self.dim}")
+        if self.packed:
+            if self._packed_cache is None:
+                self._packed_cache = pack_bipolar(self._matrix())
+            q = pack_bipolar(hard_quantize(query)[None, :])
+            dots = packed_dot(q, self._packed_cache, self.dim)[0]
+            sims = dots / self.dim
+        else:
+            sims = cosine_similarity(self._matrix(), query)
+        order = np.argsort(sims)[::-1][:top_k]
+        return [(self._names[i], float(sims[i])) for i in order]
+
+    def recall(self, query: np.ndarray) -> str:
+        """Name of the single best cleanup match."""
+        return self.cleanup(query, top_k=1)[0][0]

@@ -1,0 +1,80 @@
+"""Similarity metrics between hypervectors and class-hypervector matrices.
+
+The paper's δ(·,·) is the dot-product similarity most often used for
+bipolar hypervectors (Sec. II).  Cosine and normalized Hamming are provided
+for completeness and for the analysis utilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dot_similarity", "cosine_similarity", "hamming_similarity",
+           "classify"]
+
+
+def dot_similarity(class_matrix: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Dot-product similarity δ(M, H).
+
+    Parameters
+    ----------
+    class_matrix:
+        ``(k, D)`` matrix of class hypervectors.
+    queries:
+        ``(D,)`` single query or ``(n, D)`` batch.
+
+    Returns
+    -------
+    ``(k,)`` or ``(n, k)`` similarity values.
+    """
+    class_matrix = np.asarray(class_matrix, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1:
+        return class_matrix @ queries
+    return queries @ class_matrix.T
+
+
+def cosine_similarity(class_matrix: np.ndarray,
+                      queries: np.ndarray) -> np.ndarray:
+    """Cosine similarity between queries and each class hypervector."""
+    class_matrix = np.asarray(class_matrix, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    class_norms = np.linalg.norm(class_matrix, axis=-1)
+    class_norms = np.where(class_norms == 0, 1.0, class_norms)
+    if queries.ndim == 1:
+        q_norm = np.linalg.norm(queries)
+        q_norm = 1.0 if q_norm == 0 else q_norm
+        return (class_matrix @ queries) / (class_norms * q_norm)
+    q_norms = np.linalg.norm(queries, axis=-1, keepdims=True)
+    q_norms = np.where(q_norms == 0, 1.0, q_norms)
+    return (queries @ class_matrix.T) / (q_norms * class_norms[None, :])
+
+
+def hamming_similarity(class_matrix: np.ndarray,
+                       queries: np.ndarray) -> np.ndarray:
+    """Fraction of matching components for bipolar hypervectors (in [0,1])."""
+    class_matrix = np.asarray(class_matrix)
+    queries = np.asarray(queries)
+    dim = class_matrix.shape[-1]
+    dots = dot_similarity(np.sign(class_matrix), np.sign(queries))
+    return (dots / dim + 1.0) / 2.0
+
+
+def classify(class_matrix: np.ndarray, queries: np.ndarray,
+             metric: str = "dot") -> np.ndarray:
+    """Inference: ``argmax_k δ(C_k, H)`` for each query.
+
+    This is the paper's inference procedure (Sec. III): compute the query
+    hypervector's similarity against all class hypervectors and pick the
+    most similar class.
+    """
+    metrics = {
+        "dot": dot_similarity,
+        "cosine": cosine_similarity,
+        "hamming": hamming_similarity,
+    }
+    if metric not in metrics:
+        raise ValueError(f"unknown metric {metric!r}; expected one of "
+                         f"{sorted(metrics)}")
+    sims = metrics[metric](class_matrix, queries)
+    return np.asarray(sims.argmax(axis=-1))

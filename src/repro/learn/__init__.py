@@ -1,0 +1,22 @@
+"""The paper's learning contribution: MASS, distillation, manifold, NSHD.
+
+Training rules (:mod:`repro.learn.mass`, :mod:`repro.learn.distill`), the
+manifold feature compressor (:mod:`repro.learn.manifold`) and the three
+end-to-end systems compared in the evaluation
+(:mod:`repro.learn.pipeline`).
+"""
+
+from .centroid import train_centroids
+from .distill import DistillationTrainer
+from .manifold import ManifoldLearner
+from .mass import MassTrainer, normalized_similarity
+from .online import OnlineHDTrainer
+from .pipeline import NSHD, BaselineHD, FeatureScaler, VanillaHD
+
+__all__ = [
+    "train_centroids",
+    "MassTrainer", "normalized_similarity", "OnlineHDTrainer",
+    "DistillationTrainer",
+    "ManifoldLearner",
+    "NSHD", "BaselineHD", "VanillaHD", "FeatureScaler",
+]

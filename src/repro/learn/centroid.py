@@ -1,0 +1,31 @@
+"""Single-pass centroid training — the original HD learning rule.
+
+Early HD models (paper Sec. V-A) bundle every training hypervector of a
+class into one *class hypervector* ``C_k = Σ_{i: y_i = k} H_i`` and infer
+with ``argmax_k δ(C_k, H)``.  Retraining methods (MASS, distillation)
+start from these centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["train_centroids"]
+
+
+def train_centroids(hypervectors: np.ndarray, labels: np.ndarray,
+                    num_classes: int) -> np.ndarray:
+    """Bundle per-class hypervectors into a ``(k, D)`` class matrix.
+
+    Classes with no training samples get a zero hypervector (dissimilar to
+    everything under dot similarity).
+    """
+    hypervectors = np.atleast_2d(np.asarray(hypervectors, dtype=np.float64))
+    labels = np.asarray(labels)
+    if len(hypervectors) != len(labels):
+        raise ValueError("hypervectors and labels must align")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes")
+    class_matrix = np.zeros((num_classes, hypervectors.shape[1]))
+    np.add.at(class_matrix, labels, hypervectors)
+    return class_matrix

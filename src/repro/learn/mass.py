@@ -1,0 +1,132 @@
+"""MASS retraining: Many-class Similarity Scaling (CascadeHD [3]).
+
+MASS tunes class hypervectors using *class-wise similarity differences*
+(paper Sec. V-A): for a training hypervector ``H`` with one-hot label
+vector ``o`` the update is
+
+    U = o − δ(M, H)
+    M ← M + λ Uᵀ H
+
+so misclassified samples (large similarity error) cause large updates,
+pulling the correct class hypervector toward ``H`` and pushing the others
+away, while well-classified samples barely move the model.
+
+δ is the *normalized* (cosine) similarity so that it is commensurate with
+the one-hot target — raw bipolar dot products grow with D and would make
+``o − δ`` meaningless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.loader import one_hot
+from .centroid import train_centroids
+
+__all__ = ["normalized_similarity", "MassTrainer"]
+
+
+def normalized_similarity(class_matrix: np.ndarray,
+                          queries: np.ndarray) -> np.ndarray:
+    """Cosine similarity δ(M, H) used by the retraining rules, ``(n, k)``."""
+    queries = np.atleast_2d(queries)
+    class_norms = np.linalg.norm(class_matrix, axis=1)
+    class_norms = np.where(class_norms < 1e-12, 1.0, class_norms)
+    query_norms = np.linalg.norm(queries, axis=1, keepdims=True)
+    query_norms = np.where(query_norms < 1e-12, 1.0, query_norms)
+    return (queries @ class_matrix.T) / (query_norms * class_norms[None, :])
+
+
+class MassTrainer:
+    """Iterative class-hypervector retraining with the MASS rule.
+
+    Parameters
+    ----------
+    num_classes, dim:
+        Shape of the class-hypervector matrix ``M``.
+    lr:
+        The paper's λ.  Updates are scaled by the query-hypervector norm
+        so ``lr`` is dimension-independent.
+    """
+
+    def __init__(self, num_classes: int, dim: int, lr: float = 0.05):
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.num_classes = num_classes
+        self.dim = dim
+        self.lr = lr
+        self.class_matrix = np.zeros((num_classes, dim))
+
+    # ------------------------------------------------------------------
+    def initialize(self, hypervectors: np.ndarray,
+                   labels: np.ndarray) -> None:
+        """Bootstrap ``M`` with single-pass centroid bundling."""
+        self.class_matrix = train_centroids(hypervectors, labels,
+                                            self.num_classes)
+
+    def similarities(self, hypervectors: np.ndarray) -> np.ndarray:
+        return normalized_similarity(self.class_matrix, hypervectors)
+
+    # ------------------------------------------------------------------
+    def compute_update(self, hypervectors: np.ndarray, labels: np.ndarray,
+                       **_unused) -> np.ndarray:
+        """The MASS update matrix ``U = one_hot − δ(M, H)``, ``(n, k)``.
+
+        Subclasses (knowledge distillation) override this hook; the
+        ``M += λ Uᵀ H`` application is shared.
+        """
+        targets = one_hot(labels, self.num_classes)
+        return targets - self.similarities(hypervectors)
+
+    def step(self, hypervectors: np.ndarray, labels: np.ndarray,
+             **update_kwargs) -> None:
+        """Apply one update ``M ← M + λ Uᵀ H`` for a (mini)batch."""
+        hypervectors = np.atleast_2d(hypervectors)
+        update = self.compute_update(hypervectors, labels, **update_kwargs)
+        scale = self.lr / np.sqrt(self.dim)
+        self.class_matrix += scale * update.T @ hypervectors
+
+    # ------------------------------------------------------------------
+    def fit(self, hypervectors: np.ndarray, labels: np.ndarray,
+            epochs: int = 20, batch_size: int = 64,
+            rng: Optional[np.random.Generator] = None,
+            initialize: bool = True,
+            extra_per_sample: Optional[Dict[str, np.ndarray]] = None
+            ) -> Dict[str, List[float]]:
+        """Run retraining epochs; returns per-epoch training accuracy.
+
+        ``extra_per_sample`` carries aligned side information (e.g. teacher
+        logits for the distillation subclass); it is shuffled and batched
+        together with the hypervectors.
+        """
+        hypervectors = np.atleast_2d(hypervectors)
+        labels = np.asarray(labels)
+        rng = rng or np.random.default_rng()
+        if initialize:
+            self.initialize(hypervectors, labels)
+        extra_per_sample = extra_per_sample or {}
+
+        history: Dict[str, List[float]] = {"train_acc": []}
+        indices = np.arange(len(hypervectors))
+        for _ in range(epochs):
+            rng.shuffle(indices)
+            for start in range(0, len(indices), batch_size):
+                batch = indices[start:start + batch_size]
+                kwargs = {key: value[batch]
+                          for key, value in extra_per_sample.items()}
+                self.step(hypervectors[batch], labels[batch], **kwargs)
+            history["train_acc"].append(self.accuracy(hypervectors, labels))
+        return history
+
+    # ------------------------------------------------------------------
+    def predict(self, hypervectors: np.ndarray) -> np.ndarray:
+        return self.similarities(hypervectors).argmax(axis=1)
+
+    def accuracy(self, hypervectors: np.ndarray,
+                 labels: np.ndarray) -> float:
+        return float((self.predict(hypervectors) ==
+                      np.asarray(labels)).mean())

@@ -1,0 +1,54 @@
+"""OnlineHD-style adaptive single-pass training.
+
+An alternative retraining rule from the HD lineage the paper builds on
+(Imani et al.): each sample updates only two class hypervectors — the
+correct one and the mispredicted one — scaled by how wrong the model was:
+
+    if argmax δ = y:  no update (or a small reinforcement)
+    else:             C_y      += λ (1 − δ_y) H
+                      C_pred   -= λ (1 − δ_pred) H
+
+Compared to MASS (which updates *every* class through the similarity
+vector), the adaptive rule is cheaper per sample but uses less
+information — exactly the trade the MASS paper [3] targets.  Provided as
+an ablatable baseline for the retraining-rule design choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .mass import MassTrainer
+
+__all__ = ["OnlineHDTrainer"]
+
+
+class OnlineHDTrainer(MassTrainer):
+    """Adaptive two-class update rule (OnlineHD)."""
+
+    def __init__(self, num_classes: int, dim: int, lr: float = 0.05,
+                 reinforce_correct: bool = False):
+        super().__init__(num_classes, dim, lr)
+        self.reinforce_correct = reinforce_correct
+
+    def compute_update(self, hypervectors: np.ndarray, labels: np.ndarray,
+                       **_unused) -> np.ndarray:
+        """Sparse update matrix: at most two nonzero entries per row."""
+        labels = np.asarray(labels)
+        similarities = self.similarities(hypervectors)
+        predictions = similarities.argmax(axis=1)
+        update = np.zeros_like(similarities)
+        rows = np.arange(len(labels))
+
+        wrong = predictions != labels
+        update[rows[wrong], labels[wrong]] = \
+            1.0 - similarities[rows[wrong], labels[wrong]]
+        update[rows[wrong], predictions[wrong]] = \
+            -(1.0 - similarities[rows[wrong], predictions[wrong]])
+        if self.reinforce_correct:
+            right = ~wrong
+            update[rows[right], labels[right]] = \
+                0.1 * (1.0 - similarities[rows[right], labels[right]])
+        return update

@@ -1,0 +1,92 @@
+"""Building blocks shared by the MobileNetV2/EfficientNet-style models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+__all__ = ["ConvBNAct", "SqueezeExcite", "InvertedResidual"]
+
+
+def _activation(kind: str) -> nn.Module:
+    table = {"relu": nn.ReLU, "relu6": nn.ReLU6, "silu": nn.SiLU,
+             "none": nn.Identity}
+    if kind not in table:
+        raise ValueError(f"unknown activation {kind!r}")
+    return table[kind]()
+
+
+class ConvBNAct(nn.Module):
+    """Convolution + batch norm + activation, the mobile-CNN workhorse."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 3,
+                 stride: int = 1, groups: int = 1, activation: str = "relu6",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv = nn.Conv2d(in_channels, out_channels, kernel,
+                              stride=stride, padding=kernel // 2,
+                              groups=groups, bias=False, rng=rng)
+        self.bn = nn.BatchNorm2d(out_channels)
+        self.act = _activation(activation)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.bn(self.conv(x)))
+
+
+class SqueezeExcite(nn.Module):
+    """Squeeze-and-excitation channel attention (EfficientNet MBConv)."""
+
+    def __init__(self, channels: int, reduction: int = 4,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        reduced = max(2, channels // reduction)
+        self.squeeze = nn.AdaptiveAvgPool2d(1)
+        self.reduce = nn.Conv2d(channels, reduced, 1, rng=rng)
+        self.act = nn.SiLU()
+        self.expand = nn.Conv2d(reduced, channels, 1, rng=rng)
+        self.gate = nn.Sigmoid()
+
+    def forward(self, x: Tensor) -> Tensor:
+        scale = self.gate(self.expand(self.act(self.reduce(self.squeeze(x)))))
+        return x * scale
+
+
+class InvertedResidual(nn.Module):
+    """MobileNetV2 inverted residual / EfficientNet MBConv block.
+
+    expand 1×1 → depthwise k×k (stride s) → [SE] → project 1×1, with a
+    skip connection when the spatial size and channel count are preserved.
+    ``use_se=False, activation='relu6'`` gives the MobileNetV2 operator;
+    ``use_se=True, activation='silu'`` gives the EfficientNet MBConv.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 expand_ratio: int = 6, kernel: int = 3, use_se: bool = False,
+                 activation: str = "relu6",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if stride not in (1, 2):
+            raise ValueError("stride must be 1 or 2")
+        hidden = in_channels * expand_ratio
+        self.use_residual = stride == 1 and in_channels == out_channels
+
+        self.expand = (ConvBNAct(in_channels, hidden, kernel=1,
+                                 activation=activation, rng=rng)
+                       if expand_ratio != 1 else nn.Identity())
+        self.depthwise = ConvBNAct(hidden, hidden, kernel=kernel,
+                                   stride=stride, groups=hidden,
+                                   activation=activation, rng=rng)
+        self.se = (SqueezeExcite(hidden, rng=rng) if use_se
+                   else nn.Identity())
+        self.project = ConvBNAct(hidden, out_channels, kernel=1,
+                                 activation="none", rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.project(self.se(self.depthwise(self.expand(x))))
+        if self.use_residual:
+            out = out + x
+        return out

@@ -1,0 +1,82 @@
+"""MobileNetV2-style model indexed by operator, as in the paper.
+
+With the standard configuration the trunk has 19 indexed operators,
+matching torchvision's ``mobilenet_v2().features``: index 0 is the stem
+ConvBNReLU, indices 1–17 are the inverted-residual operators, and index 18
+is the final 1×1 ConvBNReLU.  The paper's Fig. 4 / Table II cut at
+operators 14 and 17.
+
+The stem and the first strided stage run at stride 1 (the usual CIFAR
+adaptation for 32×32 inputs); channel widths scale with ``width_mult``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from .base import IndexedCNN, scale_channels
+from .blocks import ConvBNAct, InvertedResidual
+
+__all__ = ["MobileNetV2"]
+
+# (expand_ratio, channels, repeats, stride) per stage — the paper's Table 2
+# of Sandler et al., with the usual CIFAR stride adaptation (stem and
+# stage 2 at stride 1 for 32x32 inputs) so late cut layers keep a rich
+# feature map.
+_MOBILENETV2_STAGES = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 1),   # stride 2 -> 1 for 32x32 inputs
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+class MobileNetV2(IndexedCNN):
+    """Scaled MobileNetV2 for 32×32 inputs, indexed by operator."""
+
+    name = "mobilenetv2"
+
+    # Cut layers evaluated in the paper (Fig. 4, Table II).
+    paper_layers = (14, 17)
+
+    def __init__(self, num_classes: int = 10, width_mult: float = 1.0,
+                 image_size: int = 32,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(num_classes, image_size)
+        rng = rng or np.random.default_rng()
+        self.width_mult = width_mult
+
+        # Minimum of 8 channels: depthwise blocks collapse below that
+        # when the width multiplier is small.
+        stem_channels = scale_channels(32, width_mult, minimum=8)
+        layers: List[nn.Module] = [
+            ConvBNAct(3, stem_channels, kernel=3, stride=1,
+                      activation="relu6", rng=rng),
+        ]
+        in_channels = stem_channels
+        for expand, channels, repeats, stride in _MOBILENETV2_STAGES:
+            out_channels = scale_channels(channels, width_mult, minimum=8)
+            for i in range(repeats):
+                layers.append(InvertedResidual(
+                    in_channels, out_channels,
+                    stride=stride if i == 0 else 1,
+                    expand_ratio=expand, use_se=False, activation="relu6",
+                    rng=rng))
+                in_channels = out_channels
+        head_channels = scale_channels(1280, width_mult, minimum=64)
+        layers.append(ConvBNAct(in_channels, head_channels, kernel=1,
+                                activation="relu6", rng=rng))
+        self.features = nn.Sequential(*layers)
+        self.trunk_channels = head_channels
+
+        self.head = nn.Sequential(nn.AdaptiveAvgPool2d(1), nn.Flatten())
+        self.classifier = nn.Sequential(
+            nn.Dropout(0.2, rng=rng),
+            nn.Linear(head_channels, num_classes, rng=rng),
+        )

@@ -1,0 +1,41 @@
+"""Model factory mirroring the paper's four feature-extractor CNNs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from .base import IndexedCNN
+from .efficientnet import EfficientNetB0, EfficientNetB7
+from .mobilenet import MobileNetV2
+from .vgg import VGG16
+
+__all__ = ["MODEL_REGISTRY", "create_model", "paper_cut_layers"]
+
+MODEL_REGISTRY: Dict[str, Type[IndexedCNN]] = {
+    "vgg16": VGG16,
+    "mobilenetv2": MobileNetV2,
+    "efficientnet_b0": EfficientNetB0,
+    "efficientnet_b7": EfficientNetB7,
+}
+
+
+def create_model(name: str, num_classes: int = 10, width_mult: float = 1.0,
+                 image_size: int = 32, seed: Optional[int] = None
+                 ) -> IndexedCNN:
+    """Instantiate a model by registry name with a deterministic seed."""
+    if name not in MODEL_REGISTRY:
+        raise ValueError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}")
+    rng = np.random.default_rng(seed)
+    return MODEL_REGISTRY[name](num_classes=num_classes,
+                                width_mult=width_mult,
+                                image_size=image_size, rng=rng)
+
+
+def paper_cut_layers(name: str) -> tuple:
+    """The feature-extraction layer indices the paper evaluates per model."""
+    if name not in MODEL_REGISTRY:
+        raise ValueError(f"unknown model {name!r}")
+    return MODEL_REGISTRY[name].paper_layers

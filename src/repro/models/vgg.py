@@ -1,0 +1,100 @@
+"""VGG16-style model with torchvision-compatible layer indexing.
+
+The trunk is the classic conv/ReLU/maxpool sequence of VGG16; each entry
+gets its own index exactly as in the paper ("VGG16 by each convolution,
+pooling, and activation layers").  With the full-width configuration the
+indices match torchvision's ``vgg16().features``:
+
+* index 27 = ReLU after conv5-2 (the cut used in Fig. 4 / Table II),
+* index 29 = ReLU after conv5-3,
+* index 30 = the final max pool (trunk end).
+
+Channel widths scale with ``width_mult`` so the model remains trainable
+on CPU; the layer indexing is width-independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from .base import IndexedCNN, scale_channels
+
+__all__ = ["VGG16", "ConvBN"]
+
+# Classic VGG16 configuration: channel counts with 'M' for max pooling.
+_VGG16_CONFIG = (64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+                 512, 512, 512, "M", 512, 512, 512, "M")
+
+
+class ConvBN(nn.Module):
+    """Convolution with batch norm folded into the same layer index.
+
+    The paper indexes VGG16 "by each convolution, pooling, and activation
+    layers"; treating conv+BN as one indexed unit keeps the 31-entry index
+    table (and the meaning of cut points 27/29) identical to torchvision's
+    ``vgg16().features`` while making the scaled-down model trainable from
+    scratch.  At inference BN folds into the convolution weights, so the
+    MAC/energy models count it as a single conv.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv = nn.Conv2d(in_channels, out_channels, 3, padding=1,
+                              bias=False, rng=rng)
+        self.bn = nn.BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.bn(self.conv(x))
+
+
+class VGG16(IndexedCNN):
+    """Scaled VGG16 for 32×32 inputs with per-layer indices."""
+
+    name = "vgg16"
+
+    # Cut layers evaluated in the paper (Fig. 4, Table II).
+    paper_layers = (27, 29)
+
+    def __init__(self, num_classes: int = 10, width_mult: float = 1.0,
+                 image_size: int = 32, hidden: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(num_classes, image_size)
+        rng = rng or np.random.default_rng()
+        self.width_mult = width_mult
+
+        layers: List[nn.Module] = []
+        in_channels = 3
+        for item in _VGG16_CONFIG:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2, 2))
+            else:
+                out_channels = scale_channels(int(item), width_mult)
+                layers.append(ConvBN(in_channels, out_channels, rng=rng))
+                layers.append(nn.ReLU())
+                in_channels = out_channels
+        self.features = nn.Sequential(*layers)
+        self.trunk_channels = in_channels
+
+        # 32x32 input shrinks to 1x1 after the five pools, so the head only
+        # needs a flatten.  The classifier mirrors VGG16's characteristic
+        # three-FC stack (4096-4096-classes, width-scaled): in the original
+        # network these layers hold ~89% of all parameters, which is what
+        # makes truncation so profitable for NSHD (Fig. 4 / Table II).
+        self.head = nn.Sequential(nn.Flatten())
+        hidden = hidden or max(num_classes,
+                               scale_channels(4096, width_mult, minimum=64))
+        flat = in_channels * max(1, image_size // 32) ** 2
+        self.classifier = nn.Sequential(
+            nn.Linear(flat, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Dropout(0.3, rng=rng),
+            nn.Linear(hidden, hidden, rng=rng),
+            nn.ReLU(),
+            nn.Dropout(0.3, rng=rng),
+            nn.Linear(hidden, num_classes, rng=rng),
+        )

@@ -1,0 +1,33 @@
+"""Weight initializers for the neural-network substrate."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "xavier_uniform", "uniform_fan_in"]
+
+
+def kaiming_normal(shape: Tuple[int, ...], fan_in: int,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-normal initialization, appropriate for ReLU-family activations."""
+    rng = rng or np.random.default_rng()
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    rng = rng or np.random.default_rng()
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def uniform_fan_in(shape: Tuple[int, ...], fan_in: int,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """PyTorch-default linear-layer initialization (U(-1/sqrt(fan_in), ...))."""
+    rng = rng or np.random.default_rng()
+    limit = 1.0 / np.sqrt(fan_in)
+    return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,6 @@
+"""Shared utilities: RNG management and table formatting."""
+
+from .rng import derive_rng, fresh_rng
+from .tables import format_table
+
+__all__ = ["derive_rng", "fresh_rng", "format_table"]

@@ -1,0 +1,144 @@
+"""Tests for t-SNE, interpretability metrics and the KD grid search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (GridSearchResult, class_alignment,
+                            cluster_separation, kd_grid_search,
+                            pairwise_affinities, silhouette_score, tsne)
+
+
+def clustered_data(num_classes=3, per_class=25, dim=20, spread=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 3.0, size=(num_classes, dim))
+    labels = np.repeat(np.arange(num_classes), per_class)
+    points = centers[labels] + rng.normal(0, spread, size=(len(labels), dim))
+    return points, labels
+
+
+class TestTSNE:
+    def test_affinities_are_distribution(self):
+        x, _ = clustered_data()
+        p = pairwise_affinities(x, perplexity=10.0)
+        assert p.shape == (len(x), len(x))
+        assert p.sum() == pytest.approx(1.0, rel=1e-6)
+        np.testing.assert_allclose(p, p.T, rtol=1e-10)
+
+    def test_affinities_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_affinities(np.zeros(5))
+        with pytest.raises(ValueError):
+            pairwise_affinities(np.zeros((5, 2)), perplexity=10.0)
+
+    def test_affinity_favors_neighbors(self):
+        x = np.array([[0.0], [0.1], [10.0]])
+        p = pairwise_affinities(x, perplexity=1.5)
+        assert p[0, 1] > p[0, 2]
+
+    def test_embedding_shape_and_determinism(self):
+        x, _ = clustered_data(per_class=10)
+        a = tsne(x, num_iters=50, perplexity=10.0, rng=np.random.default_rng(0))
+        b = tsne(x, num_iters=50, perplexity=10.0, rng=np.random.default_rng(0))
+        assert a.shape == (len(x), 2)
+        np.testing.assert_allclose(a, b)
+
+    def test_embedding_separates_clusters(self):
+        x, labels = clustered_data(spread=0.2, seed=1)
+        embedded = tsne(x, num_iters=250, perplexity=15.0,
+                        rng=np.random.default_rng(0))
+        assert cluster_separation(embedded, labels) > 2.0
+
+    def test_embedding_centered(self):
+        x, _ = clustered_data(per_class=8)
+        embedded = tsne(x, num_iters=30, perplexity=8.0,
+                        rng=np.random.default_rng(0))
+        np.testing.assert_allclose(embedded.mean(axis=0), np.zeros(2),
+                                   atol=1e-8)
+
+
+class TestInterpretMetrics:
+    def test_cluster_separation_orders_configurations(self):
+        tight, labels = clustered_data(spread=0.1, seed=2)
+        loose, _ = clustered_data(spread=2.0, seed=2)
+        assert cluster_separation(tight, labels) > \
+            cluster_separation(loose, labels)
+
+    def test_cluster_separation_identical_points(self):
+        points = np.zeros((4, 3))
+        labels = np.array([0, 0, 1, 1])
+        assert cluster_separation(points, labels) == np.inf
+
+    def test_class_alignment_positive_for_matched_model(self):
+        points, labels = clustered_data(spread=0.2, seed=3)
+        class_matrix = np.stack([points[labels == c].mean(axis=0)
+                                 for c in range(3)])
+        assert class_alignment(points, labels, class_matrix) > 0
+
+    def test_class_alignment_negative_for_swapped_model(self):
+        points, labels = clustered_data(spread=0.2, seed=4)
+        class_matrix = np.stack([points[labels == c].mean(axis=0)
+                                 for c in (1, 2, 0)])  # wrong assignment
+        assert class_alignment(points, labels, class_matrix) < 0
+
+    def test_silhouette_bounds_and_ordering(self):
+        tight, labels = clustered_data(spread=0.1, seed=5)
+        loose, _ = clustered_data(spread=3.0, seed=5)
+        s_tight = silhouette_score(tight, labels)
+        s_loose = silhouette_score(loose, labels)
+        assert -1.0 <= s_loose <= s_tight <= 1.0
+        assert s_tight > 0.8
+
+    def test_silhouette_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 2)), np.zeros(3, dtype=int))
+
+
+class TestKDGridSearch:
+    def make_problem(self, seed=0):
+        rng = np.random.default_rng(seed)
+        dim, k, n = 512, 3, 120
+        protos = rng.choice([-1.0, 1.0], size=(k, dim))
+        labels = np.repeat(np.arange(k), n // k)
+        hvs = np.sign(protos[labels] + rng.normal(0, 1.5, size=(n, dim)))
+        hvs[hvs == 0] = 1
+        logits = rng.normal(0, 0.3, size=(n, k))
+        logits[np.arange(n), labels] += 2.5
+        test_hvs = np.sign(protos[labels] + rng.normal(0, 1.5,
+                                                       size=(n, dim)))
+        test_hvs[test_hvs == 0] = 1
+        return hvs, labels, logits, test_hvs, labels
+
+    def test_grid_shape(self):
+        tr, y, logits, te, yt = self.make_problem()
+        result = kd_grid_search(tr, y, logits, te, yt, num_classes=3,
+                                dim=512, temperatures=(12.0, 14.0),
+                                alphas=(0.0, 0.5), epochs=3)
+        assert result.accuracies.shape == (2, 2)
+        assert np.all(result.accuracies >= 0)
+        assert np.all(result.accuracies <= 1)
+
+    def test_alpha_zero_row_constant(self):
+        tr, y, logits, te, yt = self.make_problem(seed=1)
+        result = kd_grid_search(tr, y, logits, te, yt, num_classes=3,
+                                dim=512, temperatures=(12.0, 15.0, 17.0),
+                                alphas=(0.0,), epochs=3)
+        assert np.allclose(result.accuracies[0], result.accuracies[0, 0])
+
+    def test_best_returns_max_cell(self):
+        result = GridSearchResult(
+            temperatures=(12.0, 13.0), alphas=(0.0, 0.5),
+            accuracies=np.array([[0.5, 0.5], [0.6, 0.9]]))
+        alpha, temp, acc = result.best()
+        assert (alpha, temp, acc) == (0.5, 13.0, 0.9)
+
+    def test_kd_boost_measured_against_alpha_zero(self):
+        result = GridSearchResult(
+            temperatures=(12.0,), alphas=(0.0, 0.5),
+            accuracies=np.array([[0.6], [0.7]]))
+        assert result.kd_boost() == pytest.approx(0.1)
+
+    def test_kd_boost_requires_alpha_zero(self):
+        result = GridSearchResult(temperatures=(12.0,), alphas=(0.5,),
+                                  accuracies=np.array([[0.7]]))
+        with pytest.raises(ValueError):
+            result.kd_boost()

@@ -1,0 +1,137 @@
+"""End-to-end integration tests: the three systems on a tiny real task.
+
+These use a small CNN trained for a couple of epochs so they stay
+CPU-cheap; the benchmarks exercise the full-scale configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset, normalize_images
+from repro.learn import NSHD, BaselineHD, FeatureScaler, VanillaHD
+from repro.models import create_model, train_cnn
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Tiny dataset + briefly-trained CNN shared by the integration tests."""
+    x_tr, y_tr, x_te, y_te = make_dataset(num_classes=5, num_train=150,
+                                          num_test=75, seed=11)
+    x_tr, mean, std = normalize_images(x_tr)
+    x_te, _, _ = normalize_images(x_te, mean, std)
+    model = create_model("vgg16", num_classes=5, width_mult=0.125, seed=2)
+    train_cnn(model, x_tr, y_tr, epochs=4, batch_size=32, lr=2e-3, seed=2,
+              augment=False)
+    return model, x_tr, y_tr, x_te, y_te
+
+
+class TestFeatureScaler:
+    def test_fit_transform(self):
+        rng = np.random.default_rng(0)
+        feats = rng.normal(3.0, 2.0, size=(100, 7))
+        scaler = FeatureScaler().fit(feats)
+        out = scaler.transform(feats)
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(7), atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(7), rtol=1e-10)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FeatureScaler().transform(np.zeros((2, 3)))
+
+    def test_constant_feature_safe(self):
+        feats = np.ones((10, 2))
+        out = FeatureScaler().fit(feats).transform(feats)
+        assert np.all(np.isfinite(out))
+
+
+class TestNSHDIntegration:
+    def test_fit_and_predict(self, setup):
+        model, x_tr, y_tr, x_te, y_te = setup
+        nshd = NSHD(model, layer_index=21, dim=500, reduced_features=16,
+                    seed=0)
+        history = nshd.fit(x_tr, y_tr, epochs=6)
+        assert len(history["train_acc"]) == 6
+        preds = nshd.predict(x_te)
+        assert preds.shape == (len(x_te),)
+        assert nshd.accuracy(x_te, y_te) > 0.3  # far above 0.2 chance
+
+    def test_tracks_teacher_quality(self, setup):
+        """NSHD at a late layer should be within reach of the CNN."""
+        model, x_tr, y_tr, x_te, y_te = setup
+        cnn_acc = model.accuracy(x_te, y_te)
+        nshd = NSHD(model, layer_index=27, dim=500, reduced_features=16,
+                    seed=0)
+        nshd.fit(x_tr, y_tr, epochs=8)
+        assert nshd.accuracy(x_te, y_te) >= cnn_acc - 0.15
+
+    def test_ablation_switches(self, setup):
+        model, x_tr, y_tr, _, _ = setup
+        plain = NSHD(model, layer_index=21, dim=400, reduced_features=16,
+                     use_manifold=False, use_distillation=False, seed=0)
+        assert plain.manifold is None
+        assert plain.encoder.in_features == plain.extractor.num_features
+        plain.fit(x_tr, y_tr, epochs=2)
+
+    def test_query_hypervectors_bipolar(self, setup):
+        model, x_tr, y_tr, x_te, _ = setup
+        nshd = NSHD(model, layer_index=21, dim=400, reduced_features=16,
+                    seed=0)
+        nshd.fit(x_tr, y_tr, epochs=2)
+        hvs = nshd.encode(x_te[:5])
+        assert hvs.shape == (5, 400)
+        assert set(np.unique(hvs)) <= {-1.0, 1.0}
+
+    def test_deterministic_given_seed(self, setup):
+        model, x_tr, y_tr, x_te, _ = setup
+        runs = []
+        for _ in range(2):
+            nshd = NSHD(model, layer_index=21, dim=400, reduced_features=16,
+                        seed=9)
+            nshd.fit(x_tr, y_tr, epochs=3)
+            runs.append(nshd.predict(x_te))
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_distillation_uses_teacher(self, setup):
+        """With and without KD must differ (the teacher term is active)."""
+        model, x_tr, y_tr, x_te, _ = setup
+        kd = NSHD(model, layer_index=21, dim=400, reduced_features=16,
+                  alpha=0.7, seed=0)
+        kd.fit(x_tr, y_tr, epochs=3)
+        nokd = NSHD(model, layer_index=21, dim=400, reduced_features=16,
+                    use_distillation=False, seed=0)
+        nokd.fit(x_tr, y_tr, epochs=3)
+        assert not np.allclose(kd.trainer.class_matrix,
+                               nokd.trainer.class_matrix)
+
+
+class TestBaselineHDIntegration:
+    def test_fit_and_predict(self, setup):
+        model, x_tr, y_tr, x_te, y_te = setup
+        baseline = BaselineHD(model, layer_index=21, dim=500, seed=0)
+        baseline.fit(x_tr, y_tr, epochs=6)
+        assert baseline.accuracy(x_te, y_te) > 0.3
+
+    def test_uses_full_feature_projection(self, setup):
+        model, _, _, _, _ = setup
+        baseline = BaselineHD(model, layer_index=21, dim=400, seed=0)
+        assert baseline.encoder.in_features == \
+            baseline.extractor.num_features
+
+
+class TestVanillaHDIntegration:
+    def test_fit_and_predict(self, setup):
+        _, x_tr, y_tr, x_te, y_te = setup
+        vanilla = VanillaHD(num_classes=5, dim=500, seed=0)
+        vanilla.fit(x_tr, y_tr, epochs=6)
+        acc = vanilla.accuracy(x_te, y_te)
+        assert 0.0 <= acc <= 1.0
+
+    def test_vanilla_below_nshd(self, setup):
+        """The paper's headline ordering on image data (Fig. 7)."""
+        model, x_tr, y_tr, x_te, y_te = setup
+        vanilla = VanillaHD(num_classes=5, dim=500, seed=0)
+        vanilla.fit(x_tr, y_tr, epochs=6)
+        nshd = NSHD(model, layer_index=27, dim=500, reduced_features=16,
+                    seed=0)
+        nshd.fit(x_tr, y_tr, epochs=6)
+        assert nshd.accuracy(x_te, y_te) > vanilla.accuracy(x_te, y_te)

@@ -1,0 +1,139 @@
+"""Tests for the OnlineHD trainer and the sequence (n-gram) encoder."""
+
+import numpy as np
+import pytest
+
+from repro.hd import dot_similarity
+from repro.hd.sequences import SequenceEncoder
+from repro.learn import MassTrainer
+from repro.learn.online import OnlineHDTrainer
+
+
+def make_problem(num_classes=4, per_class=40, dim=512, noise=0.8, seed=0):
+    rng = np.random.default_rng(seed)
+    protos = rng.choice([-1.0, 1.0], size=(num_classes, dim))
+    labels = np.repeat(np.arange(num_classes), per_class)
+    hvs = np.sign(protos[labels] + rng.normal(0, noise, size=(len(labels),
+                                                              dim)))
+    hvs[hvs == 0] = 1
+    return hvs, labels
+
+
+class TestOnlineHDTrainer:
+    def test_update_sparsity(self):
+        hvs, labels = make_problem()
+        trainer = OnlineHDTrainer(4, hvs.shape[1])
+        trainer.initialize(hvs, labels)
+        update = trainer.compute_update(hvs, labels)
+        # At most two nonzero entries per row (correct + predicted).
+        assert (np.abs(update) > 0).sum(axis=1).max() <= 2
+
+    def test_no_update_when_correct(self):
+        hvs, labels = make_problem(noise=0.1, seed=1)
+        trainer = OnlineHDTrainer(4, hvs.shape[1])
+        trainer.initialize(hvs, labels)
+        correct = trainer.predict(hvs) == labels
+        update = trainer.compute_update(hvs, labels)
+        assert np.all(update[correct] == 0.0)
+
+    def test_reinforce_correct_option(self):
+        hvs, labels = make_problem(noise=0.1, seed=2)
+        trainer = OnlineHDTrainer(4, hvs.shape[1], reinforce_correct=True)
+        trainer.initialize(hvs, labels)
+        correct = trainer.predict(hvs) == labels
+        update = trainer.compute_update(hvs, labels)
+        assert np.any(update[correct] != 0.0)
+
+    def test_learns_clustered_problem(self):
+        hvs, labels = make_problem(noise=1.0, seed=3)
+        trainer = OnlineHDTrainer(4, hvs.shape[1], lr=0.1)
+        trainer.fit(hvs, labels, epochs=20, rng=np.random.default_rng(0))
+        assert trainer.accuracy(hvs, labels) > 0.9
+
+    def test_mass_uses_richer_signal(self):
+        """MASS updates all classes; OnlineHD only two — MASS should not
+        be worse on a many-class problem at matched budget (the CascadeHD
+        argument)."""
+        hvs, labels = make_problem(num_classes=8, per_class=25, noise=1.2,
+                                   seed=4)
+        mass = MassTrainer(8, hvs.shape[1], lr=0.05)
+        mass.fit(hvs, labels, epochs=8, rng=np.random.default_rng(0))
+        online = OnlineHDTrainer(8, hvs.shape[1], lr=0.05)
+        online.fit(hvs, labels, epochs=8, rng=np.random.default_rng(0))
+        assert mass.accuracy(hvs, labels) >= \
+            online.accuracy(hvs, labels) - 0.05
+
+
+class TestSequenceEncoder:
+    def test_encode_shape_and_bipolarity(self):
+        encoder = SequenceEncoder(dim=1024, ngram=3,
+                                  rng=np.random.default_rng(0))
+        hv = encoder.encode("hello world")
+        assert hv.shape == (1024,)
+        assert set(np.unique(hv)) <= {-1.0, 1.0}
+
+    def test_determinism(self):
+        encoder = SequenceEncoder(dim=512, ngram=2,
+                                  rng=np.random.default_rng(1))
+        np.testing.assert_allclose(encoder.encode("abcabc"),
+                                   encoder.encode("abcabc"))
+
+    def test_order_sensitivity(self):
+        """Permutation binding distinguishes 'ab' from 'ba'."""
+        encoder = SequenceEncoder(dim=4096, ngram=2,
+                                  rng=np.random.default_rng(2))
+        sim = encoder.similarity("abababab", "babababa")
+        self_sim = encoder.similarity("abababab", "abababab")
+        assert self_sim == pytest.approx(1.0)
+        assert sim < 0.8
+
+    def test_similar_texts_more_similar_than_random(self):
+        encoder = SequenceEncoder(dim=4096, ngram=3,
+                                  rng=np.random.default_rng(3))
+        near = encoder.similarity("the quick brown fox",
+                                  "the quick brown fax")
+        far = encoder.similarity("the quick brown fox",
+                                 "zzz qqq www vvv uuu")
+        assert near > far
+
+    def test_ngram_window_validation(self):
+        encoder = SequenceEncoder(dim=128, ngram=3)
+        with pytest.raises(ValueError):
+            encoder.encode_ngram("ab")
+        with pytest.raises(ValueError):
+            encoder.encode("ab")  # shorter than the n-gram
+
+    def test_ngram_size_validation(self):
+        with pytest.raises(ValueError):
+            SequenceEncoder(ngram=0)
+
+    def test_alphabet_grows_lazily(self):
+        encoder = SequenceEncoder(dim=256, ngram=1,
+                                  rng=np.random.default_rng(4))
+        encoder.encode("abc")
+        assert len(encoder.items) == 3
+
+    def test_works_on_non_string_symbols(self):
+        encoder = SequenceEncoder(dim=512, ngram=2,
+                                  rng=np.random.default_rng(5))
+        hv = encoder.encode([1, 2, 3, 1, 2, 3])
+        assert hv.shape == (512,)
+
+    def test_language_identification_toy(self):
+        """The cited language-recognition task [13] in miniature: n-gram
+        profiles separate two synthetic 'languages'."""
+        rng = np.random.default_rng(6)
+        encoder = SequenceEncoder(dim=4096, ngram=3,
+                                  rng=np.random.default_rng(7))
+
+        def sample_text(alphabet, length=60):
+            return "".join(rng.choice(list(alphabet), size=length))
+
+        lang_a, lang_b = "aeiou", "qxzwk"
+        profile_a = np.sign(sum(encoder.encode(sample_text(lang_a))
+                                for _ in range(5)))
+        profile_b = np.sign(sum(encoder.encode(sample_text(lang_b))
+                                for _ in range(5)))
+        query = encoder.encode(sample_text(lang_a))
+        sims = dot_similarity(np.stack([profile_a, profile_b]), query)
+        assert sims[0] > sims[1]

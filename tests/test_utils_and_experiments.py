@@ -1,0 +1,87 @@
+"""Tests for shared utilities and the pinned experiment configuration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (DATASETS, HD_DIM, MODEL_NAMES, MODEL_WIDTHS,
+                               REDUCED_FEATURES, TEACHER_EPOCHS,
+                               load_dataset)
+from repro.utils import derive_rng, format_table, fresh_rng
+
+
+class TestRng:
+    def test_fresh_rng_deterministic(self):
+        a = fresh_rng(5).integers(0, 1000, 10)
+        b = fresh_rng(5).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_fresh_rng_tuple_seeds(self):
+        a = fresh_rng((1, "train", 3)).random()
+        b = fresh_rng((1, "train", 3)).random()
+        c = fresh_rng((1, "test", 3)).random()
+        assert a == b
+        assert a != c
+
+    def test_fresh_rng_none_entropy(self):
+        assert fresh_rng(None).random() != fresh_rng(None).random()
+
+    def test_derive_rng_independent_streams(self):
+        root = fresh_rng(0)
+        a = derive_rng(root, "alpha")
+        b = derive_rng(root, "beta")
+        assert a.random() != b.random()
+
+    def test_derive_rng_reproducible_from_same_parent_state(self):
+        a = derive_rng(fresh_rng(1), "x", 2).random()
+        b = derive_rng(fresh_rng(1), "x", 2).random()
+        assert a == b
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2])
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestExperimentConfig:
+    def test_every_model_has_width_and_epochs(self):
+        for name in MODEL_NAMES:
+            assert name in MODEL_WIDTHS
+            assert name in TEACHER_EPOCHS
+
+    def test_paper_defaults(self):
+        assert HD_DIM == 3000  # the paper's Sec. VII-A default
+        # F^ must be at least the largest class count (Sec. VII-A).
+        assert REDUCED_FEATURES >= max(cfg.num_classes
+                                       for cfg in DATASETS.values())
+
+    def test_dataset_configs(self):
+        assert DATASETS["s10"].num_classes == 10
+        assert DATASETS["s25"].num_classes == 25
+        for cfg in DATASETS.values():
+            assert cfg.num_test % cfg.num_classes == 0
+
+    def test_load_dataset_validation(self):
+        with pytest.raises(ValueError):
+            load_dataset("cifar10")
+
+    def test_load_dataset_normalized_and_cached(self):
+        x_tr, y_tr, x_te, y_te = load_dataset("s10")
+        np.testing.assert_allclose(x_tr.mean(axis=(0, 2, 3)), np.zeros(3),
+                                   atol=1e-8)
+        assert len(x_tr) == DATASETS["s10"].num_train
+        # Second call returns the in-memory cache (same object).
+        x_tr2, *_ = load_dataset("s10")
+        assert x_tr2 is x_tr
