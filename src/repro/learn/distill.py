@@ -28,13 +28,16 @@ temperature, which is the regime Fig. 9's grid explores.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..data.loader import one_hot
 from ..models.extractor import soften_logits
 from .mass import MassTrainer
+
+if TYPE_CHECKING:  # avoid an import cycle; the guard is duck-typed
+    from ..reliability.guards import NumericsGuard
 
 __all__ = ["DistillationTrainer"]
 
@@ -43,8 +46,9 @@ class DistillationTrainer(MassTrainer):
     """MASS retraining with teacher knowledge distillation (Algorithm 1)."""
 
     def __init__(self, num_classes: int, dim: int, lr: float = 0.05,
-                 temperature: float = 14.0, alpha: float = 0.5):
-        super().__init__(num_classes, dim, lr)
+                 temperature: float = 14.0, alpha: float = 0.5,
+                 guard: Optional["NumericsGuard"] = None):
+        super().__init__(num_classes, dim, lr, guard=guard)
         if temperature <= 0:
             raise ValueError("temperature must be positive")
         if not 0.0 <= alpha <= 1.0:

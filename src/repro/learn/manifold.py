@@ -25,7 +25,7 @@ exactly the decoded error hypervector described in the paper.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from .. import nn
 from ..hd.encoders import RandomProjectionEncoder
 from ..nn import Tensor
 from ..nn import functional as F
+
+if TYPE_CHECKING:  # avoid an import cycle; the guard is duck-typed
+    from ..reliability.guards import NumericsGuard
 
 __all__ = ["ManifoldLearner"]
 
@@ -48,11 +51,16 @@ class ManifoldLearner:
         F̂, the compressed feature count fed to the HD encoder.
     lr:
         Learning rate of the FC regressor's Adam optimizer.
+    guard:
+        Optional :class:`repro.reliability.NumericsGuard`; when set,
+        losses and FC gradients are vetted before each optimizer step so
+        a NaN batch can never corrupt the manifold weights.
     """
 
     def __init__(self, feature_shape: Tuple[int, int, int],
                  out_features: int = 100, lr: float = 1e-3,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 guard: Optional["NumericsGuard"] = None):
         if len(feature_shape) != 3:
             raise ValueError("feature_shape must be (C, H, W)")
         if out_features <= 0:
@@ -68,6 +76,7 @@ class ManifoldLearner:
             pooled = channels * height * width
         self.pooled_features = pooled
         self.in_features = channels * height * width
+        self.guard = guard
         self.fc = nn.Linear(pooled, out_features, rng=rng)
         self.optimizer = nn.Adam(self.fc.parameters(), lr=lr)
 
@@ -152,6 +161,15 @@ class ManifoldLearner:
         loss = -(Tensor(update) * sims).sum() * (1.0 / len(update))
         self.optimizer.zero_grad()
         loss.backward()
+        if self.guard is not None:
+            gradients = [p.grad for p in self.fc.parameters()
+                         if p.grad is not None]
+            if not self.guard.ok("manifold.step",
+                                 np.asarray(loss.item()), *gradients):
+                # Veto: drop the poisoned gradients, leave the FC weights
+                # and Adam state untouched, report a neutral loss.
+                self.optimizer.zero_grad()
+                return 0.0
         self.optimizer.step()
         return float(loss.item())
 
@@ -169,6 +187,35 @@ class ManifoldLearner:
         error_hvs = lam * np.atleast_2d(update).T @ np.atleast_2d(hypervectors)
         return encoder.decode(error_hvs)
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Serializable learner state: FC weights *and* Adam moments.
+
+        Including the optimizer slots (m, v, step) is what makes a resumed
+        run bit-identical to an uninterrupted one — Adam's bias correction
+        and effective step size depend on them.
+        """
+        state = {f"fc.{name}": value
+                 for name, value in self.fc.state_dict().items()}
+        state.update({f"optimizer.{name}": value
+                      for name, value in self.optimizer.state_dict().items()})
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state written by :meth:`state_dict`."""
+        fc_state = {name[len("fc."):]: value for name, value in state.items()
+                    if name.startswith("fc.")}
+        opt_state = {name[len("optimizer."):]: value
+                     for name, value in state.items()
+                     if name.startswith("optimizer.")}
+        unknown = sorted(set(state) - {f"fc.{k}" for k in fc_state}
+                         - {f"optimizer.{k}" for k in opt_state})
+        if unknown:
+            raise ValueError(
+                f"ManifoldLearner state dict has unknown keys {unknown}")
+        self.fc.load_state_dict(fc_state)
+        self.optimizer.load_state_dict(opt_state)
+
+    # ------------------------------------------------------------------
     def parameter_count(self) -> int:
         """FC learning parameters (the pooling has none)."""
         return self.fc.weight.size + (self.fc.bias.size

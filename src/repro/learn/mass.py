@@ -18,12 +18,15 @@ the one-hot target — raw bipolar dot products grow with D and would make
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..data.loader import one_hot
 from .centroid import train_centroids
+
+if TYPE_CHECKING:  # avoid an import cycle; the guard is duck-typed
+    from ..reliability.guards import NumericsGuard
 
 __all__ = ["normalized_similarity", "MassTrainer"]
 
@@ -49,9 +52,15 @@ class MassTrainer:
     lr:
         The paper's λ.  Updates are scaled by the query-hypervector norm
         so ``lr`` is dimension-independent.
+    guard:
+        Optional :class:`repro.reliability.NumericsGuard`.  When set,
+        every batch's inputs and update matrix are vetted *before* they
+        touch ``class_matrix``; bad batches are skipped (or raise,
+        depending on the guard's policy) so the model is never corrupted.
     """
 
-    def __init__(self, num_classes: int, dim: int, lr: float = 0.05):
+    def __init__(self, num_classes: int, dim: int, lr: float = 0.05,
+                 guard: Optional["NumericsGuard"] = None):
         if num_classes < 2:
             raise ValueError("need at least two classes")
         if dim <= 0:
@@ -59,12 +68,26 @@ class MassTrainer:
         self.num_classes = num_classes
         self.dim = dim
         self.lr = lr
+        self.guard = guard
         self.class_matrix = np.zeros((num_classes, dim))
 
     # ------------------------------------------------------------------
     def initialize(self, hypervectors: np.ndarray,
                    labels: np.ndarray) -> None:
-        """Bootstrap ``M`` with single-pass centroid bundling."""
+        """Bootstrap ``M`` with single-pass centroid bundling.
+
+        With a :attr:`guard` attached, poisoned samples are handled per
+        the guard's policy *before* bundling: ``raise`` aborts, while
+        ``warn``/``skip_batch`` drop the non-finite rows so the centroids
+        are built from clean samples only.
+        """
+        hypervectors = np.atleast_2d(hypervectors)
+        labels = np.asarray(labels)
+        if (self.guard is not None
+                and not self.guard.ok("mass.initialize", hypervectors)):
+            keep = np.isfinite(hypervectors).all(axis=1)
+            hypervectors = hypervectors[keep]
+            labels = labels[keep]
         self.class_matrix = train_centroids(hypervectors, labels,
                                             self.num_classes)
 
@@ -83,43 +106,94 @@ class MassTrainer:
         return targets - self.similarities(hypervectors)
 
     def step(self, hypervectors: np.ndarray, labels: np.ndarray,
-             **update_kwargs) -> None:
-        """Apply one update ``M ← M + λ Uᵀ H`` for a (mini)batch."""
+             **update_kwargs) -> bool:
+        """Apply one update ``M ← M + λ Uᵀ H`` for a (mini)batch.
+
+        Returns True when the update was applied.  With a
+        :attr:`guard` attached, non-finite inputs or updates are caught
+        *before* touching ``class_matrix`` and the batch is skipped
+        (returns False) or raises, per the guard's policy.
+        """
         hypervectors = np.atleast_2d(hypervectors)
+        if self.guard is not None:
+            extras = [np.asarray(v) for v in update_kwargs.values()
+                      if isinstance(v, (np.ndarray, list, tuple, float, int))]
+            if not self.guard.ok("mass.inputs", hypervectors, *extras):
+                return False
         update = self.compute_update(hypervectors, labels, **update_kwargs)
+        if self.guard is not None and not self.guard.ok("mass.update",
+                                                        update):
+            return False
         scale = self.lr / np.sqrt(self.dim)
         self.class_matrix += scale * update.T @ hypervectors
+        return True
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Serializable trainer state (the class-hypervector matrix)."""
+        return {"class_matrix": self.class_matrix.copy()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state written by :meth:`state_dict` (shape-checked)."""
+        if "class_matrix" not in state:
+            raise ValueError(
+                f"{type(self).__name__} state dict is missing "
+                f"'class_matrix' (got keys {sorted(state)})")
+        matrix = np.asarray(state["class_matrix"], dtype=np.float64)
+        if matrix.shape != (self.num_classes, self.dim):
+            raise ValueError(
+                f"{type(self).__name__} expects class_matrix of shape "
+                f"{(self.num_classes, self.dim)}, got {matrix.shape}")
+        self.class_matrix = matrix.copy()
 
     # ------------------------------------------------------------------
     def fit(self, hypervectors: np.ndarray, labels: np.ndarray,
             epochs: int = 20, batch_size: int = 64,
             rng: Optional[np.random.Generator] = None,
             initialize: bool = True,
-            extra_per_sample: Optional[Dict[str, np.ndarray]] = None
+            extra_per_sample: Optional[Dict[str, np.ndarray]] = None,
+            start_epoch: int = 0,
+            epoch_callback: Optional[Callable[[int, Dict[str, List[float]]],
+                                              None]] = None
             ) -> Dict[str, List[float]]:
         """Run retraining epochs; returns per-epoch training accuracy.
 
         ``extra_per_sample`` carries aligned side information (e.g. teacher
         logits for the distillation subclass); it is shuffled and batched
         together with the hypervectors.
+
+        ``start_epoch``/``epoch_callback`` support checkpoint/resume: the
+        loop runs epochs ``[start_epoch, epochs)`` and invokes
+        ``epoch_callback(epoch, history)`` after each epoch, which is
+        where the pipelines hook their atomic checkpoint writes.  A
+        resumed caller passes ``initialize=False`` and a shuffle ``rng``
+        restored to the killed run's state for bit-exact continuation.
         """
         hypervectors = np.atleast_2d(hypervectors)
         labels = np.asarray(labels)
         rng = rng or np.random.default_rng()
+        if not 0 <= start_epoch <= epochs:
+            raise ValueError(f"start_epoch {start_epoch} outside "
+                             f"[0, {epochs}]")
         if initialize:
             self.initialize(hypervectors, labels)
         extra_per_sample = extra_per_sample or {}
 
         history: Dict[str, List[float]] = {"train_acc": []}
-        indices = np.arange(len(hypervectors))
-        for _ in range(epochs):
-            rng.shuffle(indices)
+        for epoch in range(start_epoch, epochs):
+            # A fresh permutation per epoch (rather than in-place shuffling
+            # of a persistent index array) makes each epoch's ordering a
+            # pure function of the RNG state — the property checkpoint
+            # resume relies on for bit-exact continuation.
+            indices = rng.permutation(len(hypervectors))
             for start in range(0, len(indices), batch_size):
                 batch = indices[start:start + batch_size]
                 kwargs = {key: value[batch]
                           for key, value in extra_per_sample.items()}
                 self.step(hypervectors[batch], labels[batch], **kwargs)
             history["train_acc"].append(self.accuracy(hypervectors, labels))
+            if epoch_callback is not None:
+                epoch_callback(epoch, history)
         return history
 
     # ------------------------------------------------------------------

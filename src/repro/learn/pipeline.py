@@ -17,19 +17,31 @@ NCHW image arrays so the benchmarks can swap them freely.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..hd.encoders import NonlinearEncoder, RandomProjectionEncoder
 from ..models.base import IndexedCNN
 from ..models.extractor import FeatureExtractor, TeacherModel
-from ..utils.rng import derive_rng, fresh_rng
+from ..nn.serialize import (CheckpointError, load_state_with_manifest,
+                            save_state)
+from ..utils.rng import derive_rng, fresh_rng, get_rng_state, set_rng_state
 from .distill import DistillationTrainer
 from .manifold import ManifoldLearner
 from .mass import MassTrainer
 
-__all__ = ["FeatureScaler", "NSHD", "BaselineHD", "VanillaHD"]
+if TYPE_CHECKING:  # avoid an import cycle; the guard is duck-typed
+    from ..reliability.guards import NumericsGuard
+
+__all__ = ["FeatureScaler", "NSHD", "BaselineHD", "VanillaHD",
+           "CHECKPOINT_VERSION"]
+
+#: Version tag written into pipeline checkpoint manifests.
+CHECKPOINT_VERSION = 1
+
+_DEGENERATE_STD = 1e-8
 
 
 class FeatureScaler:
@@ -44,9 +56,16 @@ class FeatureScaler:
         self.std: Optional[np.ndarray] = None
 
     def fit(self, features: np.ndarray) -> "FeatureScaler":
-        self.mean = features.mean(axis=0)
+        features = np.asarray(features, dtype=np.float64)
         std = features.std(axis=0)
-        self.std = np.where(std < 1e-8, 1.0, std)
+        if np.all(std < _DEGENERATE_STD):
+            raise ValueError(
+                "FeatureScaler.fit: every feature dimension has "
+                "(near-)zero standard deviation — the input is constant "
+                "and cannot be standardized.  Check the upstream feature "
+                "extractor (dead layer?) or the input batch.")
+        self.mean = features.mean(axis=0)
+        self.std = np.where(std < _DEGENERATE_STD, 1.0, std)
         return self
 
     def transform(self, features: np.ndarray) -> np.ndarray:
@@ -54,11 +73,20 @@ class FeatureScaler:
             raise RuntimeError("FeatureScaler used before fit()")
         return (features - self.mean) / self.std
 
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return them standardized (symmetry
+        convenience mirroring ``transform``)."""
+        return self.fit(features).transform(features)
+
 
 class _HDPipeline:
-    """Shared evaluation API for the three systems."""
+    """Shared evaluation + checkpoint API for the three systems."""
 
     trainer: MassTrainer
+    scaler: FeatureScaler
+    dim: int
+    num_classes: int
+    _train_rng: np.random.Generator
 
     def encode(self, images: np.ndarray) -> np.ndarray:
         """Query hypervectors for a batch of NCHW images."""
@@ -69,6 +97,144 @@ class _HDPipeline:
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
         return float((self.predict(images) == np.asarray(labels)).mean())
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume.  Checkpoints are atomic (temp file + rename) and
+    # CRC-verified (see repro.nn.serialize); they carry every mutable
+    # piece of training state — class hypervectors, scaler statistics,
+    # manifold FC + Adam moments when present, the shuffle RNG state, and
+    # the epoch counter — so a killed run resumes *bit-exactly*.
+    # ------------------------------------------------------------------
+    def _checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = {f"trainer.{name}": value
+                  for name, value in self.trainer.state_dict().items()}
+        if self.scaler.mean is not None:
+            arrays["scaler.mean"] = np.asarray(self.scaler.mean)
+            arrays["scaler.std"] = np.asarray(self.scaler.std)
+        manifold = getattr(self, "manifold", None)
+        if manifold is not None:
+            arrays.update({f"manifold.{name}": value
+                           for name, value in manifold.state_dict().items()})
+        return arrays
+
+    def _restore_arrays(self, state: Dict[str, np.ndarray]) -> None:
+        trainer_state = {name[len("trainer."):]: value
+                         for name, value in state.items()
+                         if name.startswith("trainer.")}
+        self.trainer.load_state_dict(trainer_state)
+        if "scaler.mean" in state:
+            self.scaler.mean = np.asarray(state["scaler.mean"],
+                                          dtype=np.float64)
+            self.scaler.std = np.asarray(state["scaler.std"],
+                                         dtype=np.float64)
+        manifold = getattr(self, "manifold", None)
+        manifold_state = {name[len("manifold."):]: value
+                          for name, value in state.items()
+                          if name.startswith("manifold.")}
+        if manifold is not None:
+            if not manifold_state:
+                raise CheckpointError(
+                    f"{type(self).__name__} has a manifold learner but the "
+                    "checkpoint carries no manifold state")
+            manifold.load_state_dict(manifold_state)
+        elif manifold_state:
+            raise CheckpointError(
+                f"checkpoint carries manifold state but this "
+                f"{type(self).__name__} has no manifold learner")
+
+    def save_checkpoint(self, path: str, epoch: int,
+                        history: Optional[Dict[str, List[float]]] = None
+                        ) -> None:
+        """Atomically persist all mutable training state after ``epoch``
+        completed epochs."""
+        meta = {
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "pipeline": type(self).__name__,
+            "epoch": int(epoch),
+            "dim": int(self.dim),
+            "num_classes": int(self.num_classes),
+            "rng": get_rng_state(self._train_rng),
+            "history": {key: [float(v) for v in values]
+                        for key, values in (history or {}).items()},
+        }
+        save_state(self._checkpoint_arrays(), path, meta=meta)
+
+    def load_checkpoint(self, path: str
+                        ) -> Tuple[int, Dict[str, List[float]]]:
+        """Restore training state; returns ``(completed_epochs, history)``.
+
+        Raises :class:`repro.nn.serialize.CheckpointError` on truncated or
+        corrupted files, CRC mismatches, or checkpoints written by a
+        different pipeline class / model shape.
+        """
+        state, manifest = load_state_with_manifest(path)
+        if manifest is None:
+            raise CheckpointError(
+                f"checkpoint {path!r} has no manifest — not a pipeline "
+                "checkpoint (or written by an incompatible version)")
+        meta = manifest.get("meta", {})
+        version = meta.get("checkpoint_version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path!r} has pipeline-checkpoint version "
+                f"{version!r}; this build supports {CHECKPOINT_VERSION}")
+        written_by = meta.get("pipeline")
+        if written_by != type(self).__name__:
+            raise CheckpointError(
+                f"checkpoint {path!r} was written by {written_by!r}, "
+                f"cannot restore into {type(self).__name__}")
+        if (meta.get("dim") != self.dim
+                or meta.get("num_classes") != self.num_classes):
+            raise CheckpointError(
+                f"checkpoint {path!r} is for dim={meta.get('dim')}, "
+                f"num_classes={meta.get('num_classes')}; this pipeline has "
+                f"dim={self.dim}, num_classes={self.num_classes}")
+        self._restore_arrays(state)
+        set_rng_state(self._train_rng, meta["rng"])
+        history = {key: list(values)
+                   for key, values in meta.get("history", {}).items()}
+        return int(meta["epoch"]), history
+
+    def _maybe_resume(self, checkpoint_path: Optional[str], resume: bool
+                      ) -> Tuple[int, Optional[Dict[str, List[float]]]]:
+        """Resolve resume semantics shared by the three ``fit`` paths.
+
+        Returns ``(start_epoch, saved_history)``; a missing checkpoint
+        under ``resume=True`` silently starts fresh (first run of a
+        to-be-resumed job), while a *corrupt* one raises so callers (or
+        :class:`repro.reliability.ResilientPipeline`) can decide how to
+        degrade.
+        """
+        if not resume:
+            return 0, None
+        if not checkpoint_path:
+            raise ValueError("resume=True requires checkpoint_path")
+        if not os.path.exists(checkpoint_path):
+            return 0, None
+        epoch, history = self.load_checkpoint(checkpoint_path)
+        return epoch, history
+
+    def _trainer_fit_checkpointed(
+            self, encoded: np.ndarray, labels: np.ndarray, epochs: int,
+            batch_size: int, start_epoch: int,
+            saved_history: Optional[Dict[str, List[float]]],
+            checkpoint_path: Optional[str], checkpoint_every: int,
+            extra_per_sample: Optional[Dict[str, np.ndarray]] = None
+    ) -> Dict[str, List[float]]:
+        """Run ``trainer.fit`` with per-epoch atomic checkpoint writes."""
+        prefix = list((saved_history or {}).get("train_acc", []))
+        callback = None
+        if checkpoint_path:
+            def callback(epoch: int, history: Dict[str, List[float]]) -> None:
+                if (epoch + 1) % checkpoint_every == 0 or epoch + 1 == epochs:
+                    merged = {"train_acc": prefix + history["train_acc"]}
+                    self.save_checkpoint(checkpoint_path, epoch + 1, merged)
+        history = self.trainer.fit(
+            encoded, labels, epochs=epochs, batch_size=batch_size,
+            rng=self._train_rng, initialize=(start_epoch == 0),
+            extra_per_sample=extra_per_sample, start_epoch=start_epoch,
+            epoch_callback=callback)
+        return {"train_acc": prefix + history["train_acc"]}
 
 
 class NSHD(_HDPipeline):
@@ -100,7 +266,8 @@ class NSHD(_HDPipeline):
                  reduced_features: int = 100, temperature: float = 14.0,
                  alpha: float = 0.3, hd_lr: float = 0.05,
                  manifold_lr: float = 1e-3, use_manifold: bool = True,
-                 use_distillation: bool = True, seed: int = 0):
+                 use_distillation: bool = True, seed: int = 0,
+                 guard: Optional["NumericsGuard"] = None):
         root = fresh_rng((seed, "nshd"))
         self.extractor = FeatureExtractor(model, layer_index)
         self.teacher = TeacherModel(model)
@@ -109,12 +276,14 @@ class NSHD(_HDPipeline):
         self.use_manifold = use_manifold
         self.use_distillation = use_distillation
         self.scaler = FeatureScaler()
+        self.guard = guard
         self._train_rng = derive_rng(root, "train")
 
         if use_manifold:
             self.manifold: Optional[ManifoldLearner] = ManifoldLearner(
                 self.extractor.feature_shape, out_features=reduced_features,
-                lr=manifold_lr, rng=derive_rng(root, "manifold"))
+                lr=manifold_lr, rng=derive_rng(root, "manifold"),
+                guard=guard)
             encoder_inputs = reduced_features
         else:
             self.manifold = None
@@ -125,9 +294,10 @@ class NSHD(_HDPipeline):
         if use_distillation:
             self.trainer: MassTrainer = DistillationTrainer(
                 self.num_classes, dim, lr=hd_lr, temperature=temperature,
-                alpha=alpha)
+                alpha=alpha, guard=guard)
         else:
-            self.trainer = MassTrainer(self.num_classes, dim, lr=hd_lr)
+            self.trainer = MassTrainer(self.num_classes, dim, lr=hd_lr,
+                                       guard=guard)
 
     # ------------------------------------------------------------------
     def _reduced(self, features: np.ndarray) -> np.ndarray:
@@ -173,18 +343,38 @@ class NSHD(_HDPipeline):
                      teacher_logits: Optional[np.ndarray] = None,
                      epochs: int = 20, batch_size: int = 64,
                      initialize: bool = True,
-                     verbose: bool = False) -> Dict[str, List[float]]:
+                     verbose: bool = False,
+                     checkpoint_path: Optional[str] = None,
+                     checkpoint_every: int = 1,
+                     resume: bool = False) -> Dict[str, List[float]]:
         """Like :meth:`fit` but on precomputed extractor features.
 
         Lets callers (benchmarks, multi-system comparisons) run the frozen
         CNN once and share the features across NSHD variants.  Pass
         ``initialize=False`` to continue training an already-initialized
         model instead of re-bootstrapping the manifold and centroids.
+
+        Checkpoint/resume: with ``checkpoint_path`` set, all mutable state
+        (class hypervectors, manifold FC + Adam moments, scaler stats,
+        shuffle RNG, epoch counter) is written atomically every
+        ``checkpoint_every`` epochs.  With ``resume=True`` an existing
+        checkpoint is restored first and training continues from the next
+        epoch — a run killed mid-way and resumed this way produces the
+        *bit-identical* final model of an uninterrupted run.
         """
         labels = np.asarray(labels)
         if self.use_distillation and teacher_logits is None:
             raise ValueError("distillation requires teacher_logits")
-        features = self.scaler.fit(raw_features).transform(raw_features)
+
+        start_epoch, saved_history = self._maybe_resume(checkpoint_path,
+                                                        resume)
+        if start_epoch > 0:
+            # Scaler statistics (and everything else) came from the
+            # checkpoint; do not re-fit or re-initialize.
+            features = self.scaler.transform(raw_features)
+            initialize = False
+        else:
+            features = self.scaler.fit_transform(raw_features)
 
         # Warm-start the manifold FC as an information-preserving (PCA)
         # projection of the pooled training features (Sec. IV-C), then
@@ -194,11 +384,16 @@ class NSHD(_HDPipeline):
                 self.manifold.init_pca(features)
             self.trainer.initialize(self.encode_features(features), labels)
 
-        history: Dict[str, List[float]] = {"train_acc": [],
-                                           "manifold_loss": []}
-        indices = np.arange(len(features))
-        for _ in range(epochs):
-            self._train_rng.shuffle(indices)
+        history: Dict[str, List[float]] = {
+            "train_acc": list((saved_history or {}).get("train_acc", [])),
+            "manifold_loss": list((saved_history or {}).get("manifold_loss",
+                                                            [])),
+        }
+        for epoch in range(start_epoch, epochs):
+            # Fresh permutation per epoch: the ordering is a pure function
+            # of the RNG state, which is what lets a restored checkpoint
+            # replay the remaining epochs bit-exactly.
+            indices = self._train_rng.permutation(len(features))
             epoch_losses = []
             for start in range(0, len(indices), batch_size):
                 batch = indices[start:start + batch_size]
@@ -209,10 +404,11 @@ class NSHD(_HDPipeline):
                 if self.use_distillation:
                     kwargs["teacher_logits"] = teacher_logits[batch]
                 # Algorithm 1: update M from this batch ...
-                self.trainer.step(encoded, labels[batch], **kwargs)
+                applied = self.trainer.step(encoded, labels[batch], **kwargs)
                 # ... then propagate the resulting error direction through
-                # the HD encoder into the manifold FC (Sec. V-C).
-                if self.manifold is not None:
+                # the HD encoder into the manifold FC (Sec. V-C).  A batch
+                # vetoed by the numerics guard skips both halves.
+                if applied and self.manifold is not None:
                     update = self.trainer.compute_update(
                         encoded, labels[batch], **kwargs)
                     loss = self.manifold.train_step(
@@ -224,6 +420,9 @@ class NSHD(_HDPipeline):
                 self.trainer.accuracy(encoded_all, labels))
             history["manifold_loss"].append(
                 float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+            if checkpoint_path and ((epoch + 1) % checkpoint_every == 0
+                                    or epoch + 1 == epochs):
+                self.save_checkpoint(checkpoint_path, epoch + 1, history)
             if verbose:
                 print(f"NSHD epoch {len(history['train_acc'])}: "
                       f"train_acc={history['train_acc'][-1]:.3f}")
@@ -234,15 +433,18 @@ class BaselineHD(_HDPipeline):
     """Prior-work pipeline [9]: extractor + full-width projection + MASS."""
 
     def __init__(self, model: IndexedCNN, layer_index: int, dim: int = 3000,
-                 hd_lr: float = 0.05, seed: int = 0):
+                 hd_lr: float = 0.05, seed: int = 0,
+                 guard: Optional["NumericsGuard"] = None):
         root = fresh_rng((seed, "baselinehd"))
         self.extractor = FeatureExtractor(model, layer_index)
         self.num_classes = model.num_classes
         self.dim = dim
         self.scaler = FeatureScaler()
+        self.guard = guard
         self.encoder = RandomProjectionEncoder(
             self.extractor.num_features, dim, derive_rng(root, "projection"))
-        self.trainer = MassTrainer(self.num_classes, dim, lr=hd_lr)
+        self.trainer = MassTrainer(self.num_classes, dim, lr=hd_lr,
+                                   guard=guard)
         self._train_rng = derive_rng(root, "train")
 
     def encode(self, images: np.ndarray) -> np.ndarray:
@@ -260,18 +462,35 @@ class BaselineHD(_HDPipeline):
                       np.asarray(labels)).mean())
 
     def fit(self, images: np.ndarray, labels: np.ndarray, epochs: int = 20,
-            batch_size: int = 64) -> Dict[str, List[float]]:
+            batch_size: int = 64, checkpoint_path: Optional[str] = None,
+            checkpoint_every: int = 1,
+            resume: bool = False) -> Dict[str, List[float]]:
         return self.fit_features(self.extractor.extract(images), labels,
-                                 epochs=epochs, batch_size=batch_size)
+                                 epochs=epochs, batch_size=batch_size,
+                                 checkpoint_path=checkpoint_path,
+                                 checkpoint_every=checkpoint_every,
+                                 resume=resume)
 
     def fit_features(self, raw_features: np.ndarray, labels: np.ndarray,
-                     epochs: int = 20, batch_size: int = 64
-                     ) -> Dict[str, List[float]]:
-        """Like :meth:`fit` but on precomputed extractor features."""
-        encoded = self.encoder.encode(
-            self.scaler.fit(raw_features).transform(raw_features))
-        return self.trainer.fit(encoded, np.asarray(labels), epochs=epochs,
-                                batch_size=batch_size, rng=self._train_rng)
+                     epochs: int = 20, batch_size: int = 64,
+                     checkpoint_path: Optional[str] = None,
+                     checkpoint_every: int = 1,
+                     resume: bool = False) -> Dict[str, List[float]]:
+        """Like :meth:`fit` but on precomputed extractor features.
+
+        Checkpoint/resume semantics match :meth:`NSHD.fit_features`.
+        """
+        labels = np.asarray(labels)
+        start_epoch, saved_history = self._maybe_resume(checkpoint_path,
+                                                        resume)
+        if start_epoch > 0:
+            scaled = self.scaler.transform(raw_features)
+        else:
+            scaled = self.scaler.fit_transform(raw_features)
+        encoded = self.encoder.encode(scaled)
+        return self._trainer_fit_checkpointed(
+            encoded, labels, epochs, batch_size, start_epoch, saved_history,
+            checkpoint_path, checkpoint_every)
 
 
 class VanillaHD(_HDPipeline):
@@ -279,16 +498,18 @@ class VanillaHD(_HDPipeline):
 
     def __init__(self, num_classes: int, image_size: int = 32,
                  dim: int = 3000, hd_lr: float = 0.05,
-                 bandwidth: float = 0.01, seed: int = 0):
+                 bandwidth: float = 0.01, seed: int = 0,
+                 guard: Optional["NumericsGuard"] = None):
         root = fresh_rng((seed, "vanillahd"))
         self.num_classes = num_classes
         self.dim = dim
         self.num_features = 3 * image_size * image_size
         self.scaler = FeatureScaler()
+        self.guard = guard
         self.encoder = NonlinearEncoder(self.num_features, dim,
                                         derive_rng(root, "basis"),
                                         bandwidth=bandwidth)
-        self.trainer = MassTrainer(num_classes, dim, lr=hd_lr)
+        self.trainer = MassTrainer(num_classes, dim, lr=hd_lr, guard=guard)
         self._train_rng = derive_rng(root, "train")
 
     def encode(self, images: np.ndarray) -> np.ndarray:
@@ -296,9 +517,18 @@ class VanillaHD(_HDPipeline):
         return self.encoder.encode(self.scaler.transform(flat))
 
     def fit(self, images: np.ndarray, labels: np.ndarray, epochs: int = 20,
-            batch_size: int = 64) -> Dict[str, List[float]]:
+            batch_size: int = 64, checkpoint_path: Optional[str] = None,
+            checkpoint_every: int = 1,
+            resume: bool = False) -> Dict[str, List[float]]:
+        labels = np.asarray(labels)
         flat = np.asarray(images).reshape(len(images), -1)
-        features = self.scaler.fit(flat).transform(flat)
+        start_epoch, saved_history = self._maybe_resume(checkpoint_path,
+                                                        resume)
+        if start_epoch > 0:
+            features = self.scaler.transform(flat)
+        else:
+            features = self.scaler.fit_transform(flat)
         encoded = self.encoder.encode(features)
-        return self.trainer.fit(encoded, np.asarray(labels), epochs=epochs,
-                                batch_size=batch_size, rng=self._train_rng)
+        return self._trainer_fit_checkpointed(
+            encoded, labels, epochs, batch_size, start_epoch, saved_history,
+            checkpoint_path, checkpoint_every)

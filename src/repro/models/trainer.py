@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from ..nn import Tensor
 from ..nn import functional as F
 from .base import IndexedCNN
 from .registry import create_model
+
+if TYPE_CHECKING:  # avoid an import cycle; the guard is duck-typed
+    from ..reliability.guards import NumericsGuard
 
 __all__ = ["train_cnn", "cached_model", "default_cache_dir"]
 
@@ -40,13 +43,19 @@ def train_cnn(model: IndexedCNN, x_train: np.ndarray, y_train: np.ndarray,
               optimizer: str = "adam", weight_decay: float = 0.0,
               augment: bool = True, x_val: Optional[np.ndarray] = None,
               y_val: Optional[np.ndarray] = None, seed: int = 0,
-              eval_every: int = 0,
-              verbose: bool = False) -> Dict[str, List[float]]:
+              eval_every: int = 0, verbose: bool = False,
+              guard: Optional["NumericsGuard"] = None
+              ) -> Dict[str, List[float]]:
     """Train ``model`` in place; returns per-epoch loss/accuracy history.
 
     ``eval_every`` controls how often train/val accuracy are measured
     (0 = only after the final epoch; full-dataset inference per epoch is
     a significant fraction of CPU training time).
+
+    ``guard`` (a :class:`repro.reliability.NumericsGuard`) vets each
+    batch *before* the forward pass — keeping NaN inputs away from the
+    batch-norm running statistics — and the loss/gradients *after* the
+    backward pass, skipping the optimizer step for poisoned batches.
     """
     rng = np.random.default_rng(seed)
     if optimizer == "adam":
@@ -67,15 +76,23 @@ def train_cnn(model: IndexedCNN, x_train: np.ndarray, y_train: np.ndarray,
                                                 rng=rng):
             if augment:
                 x_batch = augment_batch(x_batch, rng)
+            if guard is not None and not guard.ok("cnn.batch", x_batch):
+                continue  # never let NaN inputs touch BN running stats
             opt.zero_grad()
             logits = model(Tensor(x_batch))
             loss = F.cross_entropy(logits, y_batch)
             loss.backward()
+            if guard is not None:
+                gradients = [p.grad for p in model.parameters()
+                             if p.grad is not None]
+                if not guard.ok("cnn.step", np.asarray(loss.item()),
+                                *gradients):
+                    continue  # skip the poisoned optimizer step
             opt.step()
             losses.append(loss.item())
         schedule.step()
 
-        history["loss"].append(float(np.mean(losses)))
+        history["loss"].append(float(np.mean(losses)) if losses else 0.0)
         is_last = epoch == epochs - 1
         if is_last or (eval_every and (epoch + 1) % eval_every == 0):
             history["train_acc"].append(model.accuracy(x_train, y_train))

@@ -12,7 +12,9 @@ from .layers import (AdaptiveAvgPool2d, AvgPool2d, BatchNorm2d, Conv2d,
                      MaxPool2d, Module, Parameter, ReLU, ReLU6, Sequential,
                      Sigmoid, SiLU, TraceRecord, trace)
 from .optim import SGD, Adam, CosineLR, Optimizer, StepLR
-from .serialize import load_module, load_state, save_module, save_state
+from .serialize import (CheckpointError, load_manifest, load_module,
+                        load_state, load_state_with_manifest, save_module,
+                        save_state)
 from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack
 
 __all__ = [
@@ -24,4 +26,5 @@ __all__ = [
     "trace", "TraceRecord",
     "Optimizer", "SGD", "Adam", "StepLR", "CosineLR",
     "save_state", "load_state", "save_module", "load_module",
+    "load_manifest", "load_state_with_manifest", "CheckpointError",
 ]

@@ -27,6 +27,36 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing.  Slot state (momenta etc.) is keyed by the *index*
+    # of each parameter in ``self.params`` so it survives serialization
+    # (the in-memory keying by ``id()`` obviously does not).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Serializable optimizer state (slot variables, step counters)."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state written by :meth:`state_dict`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} carries no state but got keys "
+                f"{sorted(state)}")
+
+    def _slot_from_state(self, key: str, value: np.ndarray) -> np.ndarray:
+        """Validate an indexed slot entry against its parameter's shape."""
+        index = int(key.rsplit(".", 1)[1])
+        if not 0 <= index < len(self.params):
+            raise ValueError(f"optimizer state key {key!r} indexes "
+                             f"parameter {index} but only "
+                             f"{len(self.params)} exist")
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != self.params[index].shape:
+            raise ValueError(
+                f"optimizer state {key!r} has shape {value.shape}, "
+                f"expected {self.params[index].shape}")
+        return value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum and weight decay."""
@@ -55,6 +85,24 @@ class SGD(Optimizer):
                 self._velocity[id(param)] = vel
                 grad = grad + self.momentum * vel if self.nesterov else vel
             param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {}
+        for index, param in enumerate(self.params):
+            velocity = self._velocity.get(id(param))
+            if velocity is not None:
+                out[f"velocity.{index}"] = velocity.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        velocity: Dict[int, np.ndarray] = {}
+        for key, value in state.items():
+            if not key.startswith("velocity."):
+                raise ValueError(f"unknown SGD state key {key!r}")
+            index = int(key.rsplit(".", 1)[1])
+            velocity[id(self.params[index])] = \
+                self._slot_from_state(key, value)
+        self._velocity = velocity
 
 
 class Adam(Optimizer):
@@ -93,6 +141,37 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        out: Dict[str, np.ndarray] = {"step": np.asarray(self._t)}
+        for index, param in enumerate(self.params):
+            m = self._m.get(id(param))
+            if m is not None:
+                out[f"m.{index}"] = m.copy()
+                out[f"v.{index}"] = self._v[id(param)].copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "step" not in state:
+            raise ValueError("Adam state is missing the 'step' counter")
+        moments_m: Dict[int, np.ndarray] = {}
+        moments_v: Dict[int, np.ndarray] = {}
+        for key, value in state.items():
+            if key == "step":
+                continue
+            if key.startswith("m."):
+                target = moments_m
+            elif key.startswith("v."):
+                target = moments_v
+            else:
+                raise ValueError(f"unknown Adam state key {key!r}")
+            index = int(key.rsplit(".", 1)[1])
+            target[id(self.params[index])] = self._slot_from_state(key, value)
+        if set(moments_m) != set(moments_v):
+            raise ValueError("Adam state has mismatched m/v entries")
+        self._t = int(state["step"])
+        self._m = moments_m
+        self._v = moments_v
 
 
 class StepLR:

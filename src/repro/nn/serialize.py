@@ -1,36 +1,208 @@
-"""Save/load module state dicts as compressed npz archives."""
+"""Save/load module state dicts as compressed npz archives.
+
+Checkpoints are written **atomically** — serialized to a temporary file in
+the destination directory, fsync'ed, then moved into place with
+``os.replace`` — so a process killed mid-save can never leave a
+half-written archive under the target name.  Every archive additionally
+carries a versioned JSON *manifest* (stored as a uint8 array under
+``__manifest__``) with a CRC32 checksum per array, so truncated or
+bit-corrupted checkpoints are detected at load time with a
+:class:`CheckpointError` instead of silently producing a garbage model.
+
+Archives written by older versions of this module (no manifest) still
+load; they simply skip integrity verification.
+"""
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict
+import tempfile
+import zlib
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_state", "load_state", "save_module", "load_module"]
+__all__ = [
+    "save_state", "load_state", "load_state_with_manifest", "load_manifest",
+    "save_module", "load_module", "CheckpointError", "MANIFEST_KEY",
+    "FORMAT_VERSION",
+]
+
+#: Reserved archive member holding the JSON manifest (uint8 payload).
+MANIFEST_KEY = "__manifest__"
+
+#: Current checkpoint manifest format version.
+FORMAT_VERSION = 1
 
 
-def save_state(state: Dict[str, np.ndarray], path: str) -> None:
-    """Write a state dict to ``path`` (npz)."""
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, truncated, corrupted, or mismatched."""
+
+
+def _array_crc(array: np.ndarray) -> int:
+    """CRC32 of an array's raw little-endian bytes (shape/dtype-agnostic)."""
+    contiguous = np.ascontiguousarray(array)
+    return zlib.crc32(contiguous.tobytes()) & 0xFFFFFFFF
+
+
+def _build_manifest(state: Dict[str, np.ndarray],
+                    meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "arrays": {
+            name: {
+                "crc32": _array_crc(array),
+                "shape": list(array.shape),
+                "dtype": str(array.dtype),
+            }
+            for name, array in state.items()
+        },
+        "meta": meta or {},
+    }
+
+
+def save_state(state: Dict[str, np.ndarray], path: str,
+               meta: Optional[Dict[str, Any]] = None) -> None:
+    """Atomically write a state dict (plus optional JSON ``meta``) to ``path``.
+
+    The archive is first serialized to a temporary sibling file and then
+    moved over ``path`` with ``os.replace``; readers never observe a
+    partially-written checkpoint.  ``meta`` must be JSON-serializable and
+    is embedded in the integrity manifest (see :func:`load_manifest`).
+    """
+    if MANIFEST_KEY in state:
+        raise ValueError(f"state key {MANIFEST_KEY!r} is reserved for the "
+                         "checkpoint manifest")
+    arrays = {name: np.asarray(value) for name, value in state.items()}
+    manifest = _build_manifest(arrays, meta)
+    payload = np.frombuffer(
+        json.dumps(manifest, sort_keys=True).encode("utf-8"), dtype=np.uint8)
+
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **state)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays, **{MANIFEST_KEY: payload})
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
-def load_state(path: str) -> Dict[str, np.ndarray]:
-    """Read a state dict previously written by :func:`save_state`."""
-    with np.load(path) as archive:
-        return {name: archive[name] for name in archive.files}
+def _read_archive(path: str) -> Tuple[Dict[str, np.ndarray],
+                                      Optional[Dict[str, Any]]]:
+    """Read (state, manifest-or-None), wrapping IO/zip failures."""
+    if not os.path.exists(path):
+        raise CheckpointError(f"checkpoint not found: {path!r}")
+    try:
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+    except CheckpointError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError, ...
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r} (truncated or corrupted "
+            f"archive): {exc}") from exc
+    manifest = None
+    payload = state.pop(MANIFEST_KEY, None)
+    if payload is not None:
+        try:
+            manifest = json.loads(payload.tobytes().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} has an unreadable manifest: {exc}"
+            ) from exc
+    return state, manifest
 
 
-def save_module(module: Module, path: str) -> None:
-    """Serialize a module's parameters and buffers."""
-    save_state(module.state_dict(), path)
+def _verify(state: Dict[str, np.ndarray], manifest: Dict[str, Any],
+            path: str) -> None:
+    version = manifest.get("format_version")
+    if not isinstance(version, int) or version < 1:
+        raise CheckpointError(
+            f"checkpoint {path!r} has an invalid manifest version "
+            f"{version!r}")
+    if version > FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written by a newer format "
+            f"(version {version} > supported {FORMAT_VERSION})")
+    declared = manifest.get("arrays", {})
+    missing = sorted(set(declared) - set(state))
+    extra = sorted(set(state) - set(declared))
+    if missing or extra:
+        raise CheckpointError(
+            f"checkpoint {path!r} does not match its manifest: "
+            f"missing arrays {missing}, undeclared arrays {extra}")
+    corrupt = [name for name, spec in declared.items()
+               if _array_crc(state[name]) != spec.get("crc32")]
+    if corrupt:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed CRC32 verification for arrays "
+            f"{sorted(corrupt)} — the file is corrupted")
+
+
+def load_state_with_manifest(path: str, verify: bool = True
+                             ) -> Tuple[Dict[str, np.ndarray],
+                                        Optional[Dict[str, Any]]]:
+    """Read ``(state, manifest)``; ``manifest`` is None for legacy files."""
+    state, manifest = _read_archive(path)
+    if verify and manifest is not None:
+        _verify(state, manifest, path)
+    return state, manifest
+
+
+def load_state(path: str, verify: bool = True) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state`.
+
+    With ``verify=True`` (default) the per-array CRC32 checksums of the
+    manifest are validated and a :class:`CheckpointError` names the
+    corrupted arrays.  Legacy archives without a manifest load unverified.
+    """
+    return load_state_with_manifest(path, verify=verify)[0]
+
+
+def load_manifest(path: str) -> Optional[Dict[str, Any]]:
+    """Return the JSON manifest of a checkpoint (None for legacy files)."""
+    return _read_archive(path)[1]
+
+
+def save_module(module: Module, path: str,
+                meta: Optional[Dict[str, Any]] = None) -> None:
+    """Serialize a module's parameters and buffers (atomically)."""
+    save_state(module.state_dict(), path, meta=meta)
 
 
 def load_module(module: Module, path: str) -> Module:
-    """Load parameters and buffers into ``module`` in place."""
-    module.load_state_dict(load_state(path))
+    """Load parameters and buffers into ``module`` in place.
+
+    Raises a descriptive :class:`CheckpointError` — naming the file and
+    listing the missing/unexpected keys — when the archive does not match
+    the module's ``state_dict`` schema.
+    """
+    state = load_state(path)
+    expected = set(module.state_dict())
+    found = set(state)
+    missing = sorted(expected - found)
+    extra = sorted(found - expected)
+    if missing or extra:
+        raise CheckpointError(
+            f"cannot load {type(module).__name__} from {path!r}: "
+            f"state dict mismatch (missing keys {missing}, "
+            f"unexpected keys {extra})")
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"cannot load {type(module).__name__} from {path!r}: {exc}"
+        ) from exc
     return module

@@ -1,0 +1,175 @@
+"""Graceful degradation: bounded retries and checkpoint fallback.
+
+:class:`ResilientPipeline` wraps a fitted HD pipeline (NSHD, BaselineHD,
+VanillaHD — anything with the ``encode/predict/trainer`` contract of
+:mod:`repro.learn.pipeline`) and keeps *serving* when components fail:
+
+* **Bounded retry with batch splitting** — a transient failure while
+  predicting a batch (poisoned rows, numerics blow-ups) triggers a
+  binary split of the batch and independent retries of each half, down
+  to single samples.  Only the samples that individually keep failing
+  get the configured ``fallback_label``; everything recoverable is
+  recovered.  The recursion depth (``max_splits``) bounds total work.
+* **Checkpoint fallback** — :meth:`load_or_degrade` restores the wrapped
+  pipeline from an (integrity-checked) checkpoint; when the checkpoint
+  turns out to be truncated or corrupted, it *degrades* instead of
+  dying: a direct random-projection classifier (no manifold layer, the
+  paper's BaselineHD-style encoding) is bootstrapped from the provided
+  training features and serves in place of the broken model — lower
+  accuracy, but alive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type, Union
+
+import numpy as np
+
+from ..hd.encoders import RandomProjectionEncoder
+from ..learn.mass import MassTrainer
+from ..learn.pipeline import FeatureScaler
+from ..nn.serialize import CheckpointError
+from ..utils.rng import fresh_rng
+
+__all__ = ["ResilientPipeline"]
+
+
+class ResilientPipeline:
+    """Fault-tolerant serving wrapper around a fitted HD pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        The wrapped system (NSHD / BaselineHD / VanillaHD).
+    max_splits:
+        Bound on the batch-splitting recursion depth per predict call
+        (``max_splits=k`` retries at most ``2^k`` sub-batches).
+    fallback_label:
+        Label assigned to samples that fail even in isolation.
+    retry_on:
+        Exception type(s) treated as transient and retried via splitting.
+        ``KeyboardInterrupt``/``SystemExit`` always propagate.
+    fallback_epochs / seed:
+        Hyperparameters of the degraded direct-projection classifier
+        built by :meth:`load_or_degrade` on checkpoint corruption.
+    """
+
+    def __init__(self, pipeline, max_splits: int = 4,
+                 fallback_label: int = 0,
+                 retry_on: Union[Type[BaseException],
+                                 Tuple[Type[BaseException], ...]] = Exception,
+                 fallback_epochs: int = 5, seed: int = 0):
+        if max_splits < 0:
+            raise ValueError("max_splits must be >= 0")
+        self.pipeline = pipeline
+        self.max_splits = int(max_splits)
+        self.fallback_label = int(fallback_label)
+        self.retry_on = retry_on
+        self.fallback_epochs = int(fallback_epochs)
+        self.seed = seed
+        self.degraded = False
+        self._fb_scaler: Optional[FeatureScaler] = None
+        self._fb_encoder: Optional[RandomProjectionEncoder] = None
+        self._fb_trainer: Optional[MassTrainer] = None
+        self.stats: Dict[str, int] = {"errors": 0, "splits": 0,
+                                      "failed_samples": 0}
+
+    # ------------------------------------------------------------------
+    # Serving path
+    # ------------------------------------------------------------------
+    def _features(self, images: np.ndarray) -> np.ndarray:
+        """Raw feature vectors for the degraded direct-projection path."""
+        extractor = getattr(self.pipeline, "extractor", None)
+        if extractor is not None:
+            return extractor.extract(images)
+        return np.asarray(images).reshape(len(images), -1)
+
+    def _raw_predict(self, images: np.ndarray) -> np.ndarray:
+        if self.degraded:
+            assert self._fb_trainer is not None
+            features = self._fb_scaler.transform(self._features(images))
+            return self._fb_trainer.predict(self._fb_encoder.encode(features))
+        return self.pipeline.predict(images)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Predict labels with bounded retry-by-splitting on failures.
+
+        Samples that cannot be predicted even alone receive
+        :attr:`fallback_label` and are counted in
+        ``stats["failed_samples"]`` — the caller always gets an answer
+        for every sample.
+        """
+        images = np.asarray(images)
+        out = np.full(len(images), self.fallback_label, dtype=np.int64)
+        self._predict_into(images, np.arange(len(images)), out, depth=0)
+        return out
+
+    def _predict_into(self, images: np.ndarray, indices: np.ndarray,
+                      out: np.ndarray, depth: int) -> None:
+        if indices.size == 0:
+            return
+        try:
+            out[indices] = np.asarray(self._raw_predict(images[indices]),
+                                      dtype=np.int64)
+            return
+        except self.retry_on:
+            self.stats["errors"] += 1
+            if indices.size == 1 or depth >= self.max_splits:
+                self.stats["failed_samples"] += int(indices.size)
+                return  # keep the fallback labels already in ``out``
+            self.stats["splits"] += 1
+            mid = indices.size // 2
+            self._predict_into(images, indices[:mid], out, depth + 1)
+            self._predict_into(images, indices[mid:], out, depth + 1)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(images) == np.asarray(labels)).mean())
+
+    # ------------------------------------------------------------------
+    # Checkpoint fallback
+    # ------------------------------------------------------------------
+    def load_or_degrade(self, checkpoint_path: str,
+                        raw_features: Optional[np.ndarray] = None,
+                        labels: Optional[np.ndarray] = None) -> str:
+        """Restore the wrapped pipeline, degrading on corruption.
+
+        Tries ``pipeline.load_checkpoint``; on
+        :class:`~repro.nn.serialize.CheckpointError` (truncated file, CRC
+        mismatch, schema mismatch) it falls back to a fresh
+        direct-random-projection classifier bootstrapped from
+        ``(raw_features, labels)`` — the paper's no-manifold encoding —
+        and routes all subsequent predictions through it.
+
+        Returns ``"restored"`` or ``"degraded"``.  Without training data
+        to degrade onto, the original :class:`CheckpointError` propagates.
+        """
+        try:
+            self.pipeline.load_checkpoint(checkpoint_path)
+            self.degraded = False
+            return "restored"
+        except CheckpointError:
+            if raw_features is None or labels is None:
+                raise
+            self._activate_fallback(np.asarray(raw_features),
+                                    np.asarray(labels))
+            return "degraded"
+
+    def _activate_fallback(self, raw_features: np.ndarray,
+                           labels: np.ndarray) -> None:
+        rng = fresh_rng((self.seed, "resilient-fallback"))
+        self._fb_scaler = FeatureScaler().fit(raw_features)
+        self._fb_encoder = RandomProjectionEncoder(
+            raw_features.shape[1], self.pipeline.dim, rng)
+        self._fb_trainer = MassTrainer(self.pipeline.num_classes,
+                                       self.pipeline.dim,
+                                       guard=getattr(self.pipeline, "guard",
+                                                     None))
+        encoded = self._fb_encoder.encode(
+            self._fb_scaler.transform(raw_features))
+        self._fb_trainer.fit(encoded, labels, epochs=self.fallback_epochs,
+                             rng=rng)
+        self.degraded = True
+
+    def __repr__(self) -> str:
+        return (f"ResilientPipeline({type(self.pipeline).__name__}, "
+                f"degraded={self.degraded}, stats={self.stats})")

@@ -1,6 +1,7 @@
 """Shared utilities: RNG management and table formatting."""
 
-from .rng import derive_rng, fresh_rng
+from .rng import derive_rng, fresh_rng, get_rng_state, set_rng_state
 from .tables import format_table
 
-__all__ = ["derive_rng", "fresh_rng", "format_table"]
+__all__ = ["derive_rng", "fresh_rng", "get_rng_state", "set_rng_state",
+           "format_table"]

@@ -8,11 +8,12 @@ generators from a root seed so experiments are reproducible end to end.
 
 from __future__ import annotations
 
+import copy
 from typing import Union
 
 import numpy as np
 
-__all__ = ["fresh_rng", "derive_rng"]
+__all__ = ["fresh_rng", "derive_rng", "get_rng_state", "set_rng_state"]
 
 
 def _stable_key(key) -> int:
@@ -54,3 +55,25 @@ def derive_rng(rng: np.random.Generator, *keys: Union[int, str]
     seed_seq = np.random.SeedSequence(
         entropy=rng.integers(0, 2 ** 63), spawn_key=tuple(material))
     return np.random.default_rng(seed_seq)
+
+
+def get_rng_state(rng: np.random.Generator) -> dict:
+    """Snapshot a generator's bit-generator state.
+
+    The returned dict is JSON-serializable (plain ints/strings, arbitrary
+    precision handled natively by :mod:`json`), which is what lets trainer
+    checkpoints embed it in their manifest and resume *bit-exactly* — the
+    shuffle stream continues exactly where the killed run left off.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a state captured by :func:`get_rng_state` in place."""
+    expected = rng.bit_generator.state.get("bit_generator")
+    found = state.get("bit_generator")
+    if found != expected:
+        raise ValueError(
+            f"RNG state is for bit generator {found!r}, but this generator "
+            f"uses {expected!r}")
+    rng.bit_generator.state = copy.deepcopy(state)

@@ -158,6 +158,29 @@ class TestLoader:
         with pytest.raises(ValueError):
             list(iterate_batches(np.zeros((3, 1)), np.zeros(3), 0))
 
+    def test_iterate_batches_rejects_single_chw_image(self):
+        # a 3-D array is almost always a CHW image missing its batch axis
+        with pytest.raises(ValueError, match="batch axis"):
+            list(iterate_batches(np.zeros((3, 8, 8)), np.zeros(3), 2))
+
+    def test_iterate_batches_rejects_bad_labels(self):
+        with pytest.raises(ValueError, match="labels"):
+            list(iterate_batches(np.zeros((4, 1)), np.zeros((4, 1)), 2))
+        with pytest.raises(ValueError, match="dtype"):
+            list(iterate_batches(np.zeros((2, 1)),
+                                 np.array(["a", "b"]), 1))
+
+    def test_normalize_rejects_non_4d(self):
+        with pytest.raises(ValueError, match="4-D NCHW"):
+            normalize_images(np.zeros((3, 8, 8)))
+        with pytest.raises(ValueError, match="4-D NCHW"):
+            normalize_images(np.zeros((10, 5)))
+
+    def test_normalize_rejects_bad_stat_shapes(self):
+        x = np.ones((2, 3, 4, 4))
+        with pytest.raises(ValueError, match="mean/std"):
+            normalize_images(x, mean=np.zeros(2), std=np.ones(3))
+
     def test_train_val_split_sizes(self):
         x = np.arange(100)[:, None].astype(float)
         y = np.arange(100)

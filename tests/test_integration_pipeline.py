@@ -38,10 +38,22 @@ class TestFeatureScaler:
         with pytest.raises(RuntimeError):
             FeatureScaler().transform(np.zeros((2, 3)))
 
-    def test_constant_feature_safe(self):
-        feats = np.ones((10, 2))
+    def test_partially_constant_feature_safe(self):
+        rng = np.random.default_rng(1)
+        feats = np.column_stack([np.ones(10), rng.normal(size=10)])
         out = FeatureScaler().fit(feats).transform(feats)
         assert np.all(np.isfinite(out))
+
+    def test_all_constant_features_raise(self):
+        with pytest.raises(ValueError, match="FeatureScaler"):
+            FeatureScaler().fit(np.ones((10, 2)))
+
+    def test_fit_transform_convenience(self):
+        rng = np.random.default_rng(2)
+        feats = rng.normal(size=(20, 3))
+        scaler = FeatureScaler()
+        out = scaler.fit_transform(feats)
+        np.testing.assert_array_equal(out, scaler.transform(feats))
 
 
 class TestNSHDIntegration:

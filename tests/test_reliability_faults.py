@@ -1,0 +1,185 @@
+"""Property tests for the fault injectors (hypothesis-driven).
+
+The injector contracts the rest of the reliability suite relies on:
+
+* rate 0 is the identity, rate 1 is full sign inversion;
+* corruption is a pure function of ``(seed, array)`` — re-applying the
+  same injector yields bit-identical corruption;
+* the realized flip fraction concentrates around the configured rate;
+* inputs are never mutated.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.serialize import CheckpointError, load_state, save_state
+from repro.reliability import (BatchCorruptionInjector, BitFlipInjector,
+                               CheckpointTruncator, ComposeInjector,
+                               FeatureDropInjector, flip_bits, truncate_file)
+from repro.utils.rng import fresh_rng
+
+
+def bipolar(shape, seed=0):
+    return fresh_rng((seed, "bipolar")).choice([-1.0, 1.0], size=shape)
+
+
+# ----------------------------------------------------------------------
+# BitFlipInjector properties
+# ----------------------------------------------------------------------
+
+class TestBitFlipProperties:
+    @given(rows=st.integers(1, 20), cols=st.integers(1, 64),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_rate_zero_is_identity(self, rows, cols, seed):
+        hvs = bipolar((rows, cols), seed)
+        np.testing.assert_array_equal(
+            BitFlipInjector(0.0, seed=seed).apply(hvs), hvs)
+
+    @given(rows=st.integers(1, 20), cols=st.integers(1, 64),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_rate_one_is_full_inversion(self, rows, cols, seed):
+        hvs = bipolar((rows, cols), seed)
+        np.testing.assert_array_equal(
+            BitFlipInjector(1.0, seed=seed).apply(hvs), -hvs)
+
+    @given(rate=st.floats(0.0, 1.0, allow_nan=False),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_seeding_is_idempotent(self, rate, seed):
+        hvs = bipolar((8, 96), seed)
+        injector = BitFlipInjector(rate, seed=seed)
+        np.testing.assert_array_equal(injector.apply(hvs),
+                                      injector.apply(hvs))
+
+    @given(rate=st.floats(0.05, 0.95), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_flip_fraction_tracks_rate(self, rate, seed):
+        hvs = bipolar((40, 500), seed)
+        corrupted = BitFlipInjector(rate, seed=seed).apply(hvs)
+        realized = float((corrupted != hvs).mean())
+        # 40*500 = 20k Bernoulli trials: 5 sigma of p=0.5 is ~0.018
+        assert abs(realized - rate) < 0.02
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_input_never_mutated(self, seed):
+        hvs = bipolar((5, 32), seed)
+        original = hvs.copy()
+        BitFlipInjector(0.7, seed=seed).apply(hvs)
+        np.testing.assert_array_equal(hvs, original)
+
+    def test_different_seeds_differ(self):
+        hvs = bipolar((10, 256))
+        a = BitFlipInjector(0.3, seed=1).apply(hvs)
+        b = BitFlipInjector(0.3, seed=2).apply(hvs)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BitFlipInjector(1.5)
+        with pytest.raises(ValueError):
+            flip_bits(np.ones(4), -0.1, fresh_rng(0))
+
+
+# ----------------------------------------------------------------------
+# Feature drops / batch corruption / composition
+# ----------------------------------------------------------------------
+
+class TestFeatureDrop:
+    @given(rate=st.floats(0.0, 1.0), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_drops_expected_column_count(self, rate, seed):
+        features = np.ones((6, 50))
+        injector = FeatureDropInjector(rate, seed=seed)
+        out = injector.apply(features)
+        dropped = np.flatnonzero((out == 0.0).all(axis=0))
+        assert dropped.size == int(round(rate * 50))
+        np.testing.assert_array_equal(dropped,
+                                      injector.dropped_columns(50))
+
+    def test_same_columns_for_every_sample(self):
+        rng = fresh_rng(3)
+        features = rng.normal(size=(12, 30))
+        out = FeatureDropInjector(0.4, seed=7).apply(features)
+        zero_mask = out == 0.0
+        # each column is either fully zeroed or untouched
+        assert np.all(zero_mask.all(axis=0) | (~zero_mask).all(axis=0))
+
+    def test_custom_fill(self):
+        out = FeatureDropInjector(1.0, seed=0, fill=-5.0).apply(
+            np.ones((3, 4)))
+        np.testing.assert_array_equal(out, np.full((3, 4), -5.0))
+
+
+class TestBatchCorruption:
+    @pytest.mark.parametrize("mode,check", [
+        ("nan", lambda rows: np.isnan(rows).all()),
+        ("inf", lambda rows: np.isinf(rows).all()),
+        ("huge", lambda rows: (np.abs(rows) > 1e20).all()),
+    ])
+    def test_modes(self, mode, check):
+        batch = np.ones((20, 8))
+        injector = BatchCorruptionInjector(0.5, mode=mode, seed=5)
+        out = injector.apply(batch)
+        rows = injector.corrupted_rows(20)
+        assert rows.size > 0
+        assert check(out[rows])
+        clean = np.setdiff1d(np.arange(20), rows)
+        np.testing.assert_array_equal(out[clean], batch[clean])
+
+    def test_fraction_zero_is_clean(self):
+        batch = np.ones((10, 4))
+        out = BatchCorruptionInjector(0.0, seed=0).apply(batch)
+        np.testing.assert_array_equal(out, batch)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BatchCorruptionInjector(0.5, mode="zap")
+
+
+class TestCompose:
+    def test_applies_in_order(self):
+        hvs = bipolar((6, 40))
+        compose = ComposeInjector([BitFlipInjector(1.0, seed=1),
+                                   FeatureDropInjector(0.5, seed=2)])
+        manual = FeatureDropInjector(0.5, seed=2).apply(
+            BitFlipInjector(1.0, seed=1).apply(hvs))
+        np.testing.assert_array_equal(compose.apply(hvs), manual)
+
+    def test_deterministic(self):
+        hvs = bipolar((4, 24))
+        compose = ComposeInjector([BitFlipInjector(0.3, seed=9),
+                                   BatchCorruptionInjector(0.2, seed=9)])
+        np.testing.assert_array_equal(compose.apply(hvs), compose.apply(hvs))
+
+
+# ----------------------------------------------------------------------
+# Checkpoint truncation → CheckpointError on load
+# ----------------------------------------------------------------------
+
+class TestCheckpointTruncation:
+    @pytest.mark.parametrize("keep", [0.0, 0.3, 0.9])
+    def test_truncated_checkpoint_fails_to_load(self, tmp_path, keep):
+        path = str(tmp_path / "state.npz")
+        save_state({"w": np.arange(4096, dtype=np.float64)}, path)
+        truncate_file(path, keep)
+        with pytest.raises(CheckpointError):
+            load_state(path)
+
+    def test_truncator_object(self, tmp_path):
+        path = str(tmp_path / "state.npz")
+        save_state({"w": np.ones(1024)}, path)
+        new_size = CheckpointTruncator(0.5)(path)
+        assert new_size == pytest.approx(0.5 * 1024, abs=2049)
+        with pytest.raises(CheckpointError):
+            load_state(path)
+
+    def test_keep_all_still_loads(self, tmp_path):
+        path = str(tmp_path / "state.npz")
+        save_state({"w": np.ones(16)}, path)
+        truncate_file(path, 1.0)
+        np.testing.assert_array_equal(load_state(path)["w"], np.ones(16))

@@ -1,0 +1,111 @@
+"""Robustness sweep: the accuracy-vs-bit-flip-rate curve.
+
+Checks the paper's graceful-degradation claim on a controlled separable
+task: accuracy at flip rate 0 matches the clean model, decays smoothly
+with rate (no crash anywhere on the grid), and collapses to chance at
+``p = 0.5`` where every hypervector bit is equally likely flipped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset, normalize_images
+from repro.learn import BaselineHD, MassTrainer
+from repro.models import create_model
+from repro.reliability import (DEFAULT_RATES, bit_flip_curve, bit_flip_sweep,
+                               format_sweep, sweep_systems)
+from repro.utils.rng import fresh_rng
+
+
+@pytest.fixture(scope="module")
+def separable():
+    """Well-separated class-clustered hypervectors + a fitted trainer."""
+    rng = fresh_rng(12)
+    num_classes, per_class, dim = 4, 40, 1024
+    prototypes = rng.choice([-1.0, 1.0], size=(num_classes, dim))
+    labels = np.repeat(np.arange(num_classes), per_class)
+    hvs = np.sign(prototypes[labels] +
+                  rng.normal(0, 0.8, size=(len(labels), dim)))
+    hvs[hvs == 0] = 1.0
+    trainer = MassTrainer(num_classes, dim)
+    trainer.fit(hvs, labels, epochs=3, rng=fresh_rng(13))
+    return trainer, hvs, labels
+
+
+class TestBitFlipCurve:
+    @pytest.mark.parametrize("target", ["query", "memory", "both"])
+    def test_graceful_degradation_shape(self, separable, target):
+        trainer, hvs, labels = separable
+        rows = bit_flip_curve(trainer, hvs, labels, target=target,
+                              trials=3, seed=0)
+        rates = [row["rate"] for row in rows]
+        accs = [row["accuracy"] for row in rows]
+        assert rates == list(DEFAULT_RATES)
+        assert all(np.isfinite(accs))
+        # clean anchor: rate 0 equals the uncorrupted accuracy
+        assert accs[0] == pytest.approx(trainer.accuracy(hvs, labels))
+        assert accs[0] > 0.9
+        # the paper regime: still clearly above chance at p = 0.3
+        regime = {row["rate"]: row["accuracy"] for row in rows}
+        assert regime[0.3] > 0.25 + 0.15
+        # chance anchor: p = 0.5 destroys all information
+        assert abs(regime[0.5] - 0.25) < 0.2
+        # graceful: accuracy never *increases* by much along the grid
+        for earlier, later in zip(accs, accs[1:]):
+            assert later <= earlier + 0.05
+
+    def test_trials_reported_as_min_mean_max(self, separable):
+        trainer, hvs, labels = separable
+        rows = bit_flip_curve(trainer, hvs, labels, rates=(0.2,), trials=5)
+        row = rows[0]
+        assert row["min"] <= row["accuracy"] <= row["max"]
+
+    def test_deterministic_given_seed(self, separable):
+        trainer, hvs, labels = separable
+        a = bit_flip_curve(trainer, hvs, labels, rates=(0.1, 0.3), seed=4)
+        b = bit_flip_curve(trainer, hvs, labels, rates=(0.1, 0.3), seed=4)
+        assert a == b
+
+    def test_validation(self, separable):
+        trainer, hvs, labels = separable
+        with pytest.raises(ValueError, match="target"):
+            bit_flip_curve(trainer, hvs, labels, target="bus")
+        with pytest.raises(ValueError, match="trials"):
+            bit_flip_curve(trainer, hvs, labels, trials=0)
+
+
+class TestPipelineSweep:
+    def test_sweep_and_format(self):
+        x_tr, y_tr, _, _ = make_dataset(num_classes=3, num_train=60,
+                                        num_test=6, seed=21)
+        x_tr, _, _ = normalize_images(x_tr)
+        model = create_model("vgg16", num_classes=3, width_mult=0.125,
+                             seed=4)
+        model.eval()
+        pipeline = BaselineHD(model, layer_index=21, dim=256, seed=5)
+        pipeline.fit(x_tr, y_tr, epochs=2, batch_size=32)
+
+        results = sweep_systems({"BaselineHD": pipeline}, x_tr, y_tr,
+                                rates=(0.0, 0.2, 0.5), trials=2, seed=1)
+        rows = results["BaselineHD"]
+        assert [row["rate"] for row in rows] == [0.0, 0.2, 0.5]
+        assert all(np.isfinite(row["accuracy"]) for row in rows)
+        assert rows[0]["accuracy"] == pytest.approx(
+            pipeline.accuracy(x_tr, y_tr))
+
+        table = format_sweep(results)
+        assert "BaselineHD" in table and "0.20" in table
+
+        direct = bit_flip_sweep(pipeline, x_tr, y_tr, rates=(0.0, 0.2, 0.5),
+                                trials=2, seed=1)
+        assert direct == rows
+
+    def test_format_rejects_mismatched_grids(self):
+        results = {
+            "a": [{"rate": 0.0, "accuracy": 1.0, "min": 1.0, "max": 1.0}],
+            "b": [{"rate": 0.1, "accuracy": 1.0, "min": 1.0, "max": 1.0}],
+        }
+        with pytest.raises(ValueError, match="same rates"):
+            format_sweep(results)
+        with pytest.raises(ValueError, match="no sweep"):
+            format_sweep({})
