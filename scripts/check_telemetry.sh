@@ -1,0 +1,52 @@
+#!/bin/bash
+# Telemetry gate: run the telemetry unit/integration suite, a profiled
+# end-to-end smoke run (stage breakdown + exports must materialize), and
+# the disabled-profiler overhead micro-benchmark, asserting that the
+# dormant instrumentation costs < 5% on hot autograd ops.  Intended for
+# CI and as a pre-merge check for changes touching the telemetry layer,
+# the nn profiling hooks, or the instrumented trainers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== telemetry suite: metrics, tracing, profiler, exporters, integration =="
+python -m pytest tests/test_telemetry_metrics.py \
+                 tests/test_telemetry_tracing.py \
+                 tests/test_telemetry_profiler.py \
+                 tests/test_telemetry_exporters.py \
+                 tests/test_telemetry_integration.py -q
+
+echo
+echo "== profiled smoke run: stage breakdown + JSONL/Prometheus exports =="
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+python scripts/profile_run.py --train 150 --test 80 --cnn-epochs 1 \
+    --hd-epochs 2 --dim 400 --reduced 24 --out "$out_dir" > "$out_dir/stdout.txt"
+grep -q "Stage-level time breakdown" "$out_dir/stdout.txt"
+grep -q "stage.similarity\|similarity" "$out_dir/stdout.txt"
+test -s "$out_dir/report.md"
+test -s "$out_dir/run.jsonl"
+test -s "$out_dir/metrics.prom"
+python - "$out_dir" <<'EOF'
+import sys
+from repro.telemetry import parse_prometheus, read_jsonl
+out = sys.argv[1]
+events = read_jsonl(f"{out}/run.jsonl")
+kinds = {e["type"] for e in events}
+assert {"meta", "metric", "span", "op", "layer"} <= kinds, kinds
+parsed = parse_prometheus(open(f"{out}/metrics.prom").read())
+assert any(name.startswith("repro_train_") for name in parsed), sorted(parsed)
+print(f"exports OK: {len(events)} JSONL events, {len(parsed)} Prometheus metrics")
+EOF
+
+echo
+echo "== dormant-profiler overhead: wrapped ops vs originals (< 5%) =="
+python - <<'EOF'
+from repro.telemetry import disabled_overhead_ratio
+ratio = min(disabled_overhead_ratio() for _ in range(3))
+print(f"disabled-profiler overhead ratio: {ratio:.4f}")
+assert ratio < 1.05, f"dormant profiling hooks cost {100 * (ratio - 1):.1f}% > 5%"
+EOF
+
+echo
+echo "telemetry checks passed"

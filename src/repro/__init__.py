@@ -24,6 +24,11 @@ Subpackages
     Synthetic CIFAR-style image benchmark and loaders.
 ``repro.analysis``
     t-SNE, KD hyperparameter search, interpretability metrics.
+``repro.reliability``
+    Numerics guards, fault injection, graceful degradation.
+``repro.telemetry``
+    Observability: metrics registry, tracing spans, autograd/HD
+    profiling hooks, exporters and run reports.
 """
 
 __version__ = "1.0.0"

@@ -19,9 +19,9 @@ from .. import nn
 from ..models.base import IndexedCNN
 from ..nn import Tensor
 
-__all__ = ["LayerCost", "trace_costs", "model_macs", "trunk_macs",
-           "hd_encode_macs", "hd_similarity_macs", "nshd_macs",
-           "baselinehd_macs", "count_parameters"]
+__all__ = ["LayerCost", "layer_cost", "trace_costs", "model_macs",
+           "trunk_macs", "hd_encode_macs", "hd_similarity_macs",
+           "nshd_macs", "baselinehd_macs", "count_parameters"]
 
 
 @dataclass
@@ -34,9 +34,15 @@ class LayerCost:
     output_elems: int
 
 
-def _record_cost(record: nn.TraceRecord) -> LayerCost:
-    module = record.module
-    out_shape = record.output_shape or ()
+def layer_cost(module: nn.Module,
+               output_shape: Optional[tuple]) -> LayerCost:
+    """MAC/parameter cost of one leaf-module call with a given output shape.
+
+    Shared by the traced Fig. 5 accounting below and the telemetry
+    profiler's per-layer hook (:mod:`repro.telemetry.profiler`), so both
+    report identical numbers for identical shapes.
+    """
+    out_shape = tuple(output_shape or ())
     out_elems = int(np.prod(out_shape[1:])) if len(out_shape) > 1 else 0
     kind = type(module).__name__
 
@@ -62,6 +68,10 @@ def _record_cost(record: nn.TraceRecord) -> LayerCost:
         params = 0
     return LayerCost(kind=kind, macs=macs, params=params,
                      output_elems=out_elems)
+
+
+def _record_cost(record: nn.TraceRecord) -> LayerCost:
+    return layer_cost(record.module, record.output_shape)
 
 
 def trace_costs(run, image_size: int = 32) -> List[LayerCost]:

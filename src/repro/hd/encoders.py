@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..telemetry import get_registry, span
 from .hypervector import hard_quantize, random_bipolar, random_gaussian
 
 __all__ = ["Encoder", "RandomProjectionEncoder", "NonlinearEncoder",
@@ -43,6 +44,20 @@ class Encoder:
                 f"encoder expects {self.in_features} features, got "
                 f"{features.shape[-1]}")
         return features
+
+    def _telemetry_span(self, features: np.ndarray) -> span:
+        """Span + counters for one :meth:`encode` call.
+
+        Every encoder's ``encode`` wraps its math in this span so the
+        tracer can attribute per-encoder wall time and bytes; samples and
+        MAC estimates land in the global metrics registry.
+        """
+        n = 1 if features.ndim == 1 else int(features.shape[0])
+        registry = get_registry()
+        registry.inc("hd.encode.samples", n)
+        registry.inc("hd.encode.macs", n * self.macs_per_sample())
+        return span(f"hd.encode.{type(self).__name__}",
+                    nbytes=int(np.asarray(features).nbytes))
 
     def encode(self, features: np.ndarray) -> np.ndarray:
         """Encode ``(n, F)`` features into ``(n, D)`` hypervectors."""
@@ -74,8 +89,9 @@ class RandomProjectionEncoder(Encoder):
 
     def encode(self, features: np.ndarray) -> np.ndarray:
         features = self._check(features)
-        raw = features @ self.projection
-        return hard_quantize(raw) if self.quantize else raw
+        with self._telemetry_span(features):
+            raw = features @ self.projection
+            return hard_quantize(raw) if self.quantize else raw
 
     def encode_raw(self, features: np.ndarray) -> np.ndarray:
         """Pre-``sign`` bundle values (needed by the manifold STE path)."""
@@ -122,9 +138,10 @@ class NonlinearEncoder(Encoder):
 
     def encode(self, features: np.ndarray) -> np.ndarray:
         features = self._check(features)
-        proj = features @ self.basis
-        raw = np.cos(proj + self.phase) * np.sin(proj)
-        return hard_quantize(raw) if self.quantize else raw
+        with self._telemetry_span(features):
+            proj = features @ self.basis
+            raw = np.cos(proj + self.phase) * np.sin(proj)
+            return hard_quantize(raw) if self.quantize else raw
 
     def macs_per_sample(self) -> int:
         return self.in_features * self.dim
@@ -167,9 +184,10 @@ class IDLevelEncoder(Encoder):
 
     def encode(self, features: np.ndarray) -> np.ndarray:
         features = self._check(features)
-        indices = self.quantize_values(features)
-        bound = self.id_memory[None, :, :] * self.level_memory[indices]
-        return hard_quantize(bound.sum(axis=1))
+        with self._telemetry_span(features):
+            indices = self.quantize_values(features)
+            bound = self.id_memory[None, :, :] * self.level_memory[indices]
+            return hard_quantize(bound.sum(axis=1))
 
     def macs_per_sample(self) -> int:
         return self.in_features * self.dim
@@ -192,7 +210,8 @@ class LSHEncoder(Encoder):
 
     def encode(self, features: np.ndarray) -> np.ndarray:
         features = self._check(features)
-        return hard_quantize(features @ self.hyperplanes)
+        with self._telemetry_span(features):
+            return hard_quantize(features @ self.hyperplanes)
 
     def macs_per_sample(self) -> int:
         return self.in_features * self.dim

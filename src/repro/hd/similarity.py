@@ -9,8 +9,23 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import get_registry, span
+
 __all__ = ["dot_similarity", "cosine_similarity", "hamming_similarity",
            "classify"]
+
+
+def _count_queries(class_matrix: np.ndarray, queries: np.ndarray) -> None:
+    """Counter bookkeeping shared by the similarity kernels.
+
+    Follows the Fig. 5 accounting: a k-class similarity sweep over
+    D-dimensional hypervectors costs k·D MACs per query.
+    """
+    n = 1 if queries.ndim == 1 else int(queries.shape[0])
+    k, dim = class_matrix.shape[-2], class_matrix.shape[-1]
+    registry = get_registry()
+    registry.inc("hd.similarity.queries", n)
+    registry.inc("hd.similarity.macs", n * k * dim)
 
 
 def dot_similarity(class_matrix: np.ndarray, queries: np.ndarray) -> np.ndarray:
@@ -29,9 +44,11 @@ def dot_similarity(class_matrix: np.ndarray, queries: np.ndarray) -> np.ndarray:
     """
     class_matrix = np.asarray(class_matrix, dtype=np.float64)
     queries = np.asarray(queries, dtype=np.float64)
-    if queries.ndim == 1:
-        return class_matrix @ queries
-    return queries @ class_matrix.T
+    _count_queries(class_matrix, queries)
+    with span("hd.similarity.dot", nbytes=int(queries.nbytes)):
+        if queries.ndim == 1:
+            return class_matrix @ queries
+        return queries @ class_matrix.T
 
 
 def cosine_similarity(class_matrix: np.ndarray,
@@ -39,15 +56,17 @@ def cosine_similarity(class_matrix: np.ndarray,
     """Cosine similarity between queries and each class hypervector."""
     class_matrix = np.asarray(class_matrix, dtype=np.float64)
     queries = np.asarray(queries, dtype=np.float64)
-    class_norms = np.linalg.norm(class_matrix, axis=-1)
-    class_norms = np.where(class_norms == 0, 1.0, class_norms)
-    if queries.ndim == 1:
-        q_norm = np.linalg.norm(queries)
-        q_norm = 1.0 if q_norm == 0 else q_norm
-        return (class_matrix @ queries) / (class_norms * q_norm)
-    q_norms = np.linalg.norm(queries, axis=-1, keepdims=True)
-    q_norms = np.where(q_norms == 0, 1.0, q_norms)
-    return (queries @ class_matrix.T) / (q_norms * class_norms[None, :])
+    _count_queries(class_matrix, queries)
+    with span("hd.similarity.cosine", nbytes=int(queries.nbytes)):
+        class_norms = np.linalg.norm(class_matrix, axis=-1)
+        class_norms = np.where(class_norms == 0, 1.0, class_norms)
+        if queries.ndim == 1:
+            q_norm = np.linalg.norm(queries)
+            q_norm = 1.0 if q_norm == 0 else q_norm
+            return (class_matrix @ queries) / (class_norms * q_norm)
+        q_norms = np.linalg.norm(queries, axis=-1, keepdims=True)
+        q_norms = np.where(q_norms == 0, 1.0, q_norms)
+        return (queries @ class_matrix.T) / (q_norms * class_norms[None, :])
 
 
 def hamming_similarity(class_matrix: np.ndarray,

@@ -6,6 +6,8 @@ end-to-end systems compared in the evaluation
 (:mod:`repro.learn.pipeline`).
 """
 
+from .callbacks import (CheckpointCallback, EarlyStopping, TelemetryCallback,
+                        TrainerCallback)
 from .centroid import train_centroids
 from .distill import DistillationTrainer
 from .manifold import ManifoldLearner
@@ -19,4 +21,6 @@ __all__ = [
     "DistillationTrainer",
     "ManifoldLearner",
     "NSHD", "BaselineHD", "VanillaHD", "FeatureScaler",
+    "TrainerCallback", "TelemetryCallback", "CheckpointCallback",
+    "EarlyStopping",
 ]

@@ -1,0 +1,159 @@
+"""Trainer callbacks: one hook for telemetry, checkpointing, early stop.
+
+:class:`MassTrainer.fit` (and therefore the distillation trainer and the
+BaselineHD/VanillaHD pipelines) invokes every registered callback's
+``on_epoch_end(epoch, metrics)`` after each epoch.  ``metrics`` is a
+plain dict carrying at least::
+
+    {"epoch": int,            # 0-based epoch just finished
+     "train_acc": float,      # accuracy after this epoch's updates
+     "epoch_time_s": float,   # wall time of the epoch (tracing clock)
+     "history": dict}         # the trainer's running history (by ref)
+
+This replaces the ad-hoc ``epoch_callback`` closure that the pipelines
+previously threaded into ``fit`` for checkpointing — checkpoint writes,
+metric publication and future early-stopping all share the same hook.
+The legacy ``epoch_callback`` parameter still works and is invoked after
+the callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..telemetry import get_registry
+from ..telemetry.metrics import MetricsRegistry
+
+__all__ = ["TrainerCallback", "TelemetryCallback", "CheckpointCallback",
+           "EarlyStopping"]
+
+
+class TrainerCallback:
+    """Base class: override any subset of the hooks."""
+
+    def on_fit_start(self, trainer, total_epochs: int) -> None:
+        """Called once before the first trained epoch."""
+
+    def on_epoch_end(self, epoch: int, metrics: Dict[str, object]) -> None:
+        """Called after every epoch with the metrics dict described in
+        the module docstring."""
+
+    def on_fit_end(self, history: Dict[str, List[float]]) -> None:
+        """Called once after the last epoch (also when stopped early)."""
+
+    def should_stop(self) -> bool:
+        """Polled after ``on_epoch_end``; return True to end training."""
+        return False
+
+
+class TelemetryCallback(TrainerCallback):
+    """Publish per-epoch trainer metrics into a metrics registry.
+
+    Parameters
+    ----------
+    prefix:
+        Metric-name prefix (``{prefix}.epoch``, ``{prefix}.train_acc``,
+        ``{prefix}.epoch_time_s``); lets several trainers in one process
+        publish side by side.
+    registry:
+        Defaults to the process-global registry.
+    """
+
+    def __init__(self, prefix: str = "train",
+                 registry: Optional[MetricsRegistry] = None):
+        self.prefix = prefix
+        self.registry = registry
+
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None else get_registry()
+
+    def on_epoch_end(self, epoch: int, metrics: Dict[str, object]) -> None:
+        registry = self._registry()
+        registry.inc(f"{self.prefix}.epochs")
+        registry.set_gauge(f"{self.prefix}.epoch", float(epoch))
+        for key, value in metrics.items():
+            if key in ("epoch", "history") or not isinstance(
+                    value, (int, float)):
+                continue
+            if key.endswith("_time_s"):
+                registry.observe(f"{self.prefix}.{key}", float(value))
+            else:
+                registry.set_gauge(f"{self.prefix}.{key}", float(value))
+
+
+class CheckpointCallback(TrainerCallback):
+    """Atomic pipeline checkpoint writes every ``every`` epochs.
+
+    Wraps :meth:`repro.learn.pipeline._HDPipeline.save_checkpoint`; the
+    optional ``history_prefix`` carries epochs restored from a previous
+    checkpoint so the persisted history stays complete across resumes.
+    """
+
+    def __init__(self, pipeline, path: str, every: int = 1,
+                 total_epochs: Optional[int] = None,
+                 history_prefix: Optional[Dict[str, List[float]]] = None):
+        if every < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.pipeline = pipeline
+        self.path = path
+        self.every = every
+        self.total_epochs = total_epochs
+        self.history_prefix = {key: list(values) for key, values
+                               in (history_prefix or {}).items()}
+
+    def merged_history(self, history: Dict[str, List[float]]
+                       ) -> Dict[str, List[float]]:
+        merged = {key: list(values)
+                  for key, values in self.history_prefix.items()}
+        for key, values in history.items():
+            merged[key] = merged.get(key, []) + list(values)
+        return merged
+
+    def on_epoch_end(self, epoch: int, metrics: Dict[str, object]) -> None:
+        completed = epoch + 1
+        if completed % self.every and completed != self.total_epochs:
+            return
+        history = metrics.get("history") or {}
+        self.pipeline.save_checkpoint(self.path, completed,
+                                      self.merged_history(history))
+
+
+class EarlyStopping(TrainerCallback):
+    """Stop when a monitored metric fails to improve for ``patience``
+    epochs (greater-is-better by default, e.g. ``train_acc``)."""
+
+    def __init__(self, monitor: str = "train_acc", patience: int = 5,
+                 min_delta: float = 0.0, mode: str = "max"):
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.monitor = monitor
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.stale = 0
+        self.stopped_epoch: Optional[int] = None
+
+    def on_fit_start(self, trainer, total_epochs: int) -> None:
+        self.best = None
+        self.stale = 0
+        self.stopped_epoch = None
+
+    def on_epoch_end(self, epoch: int, metrics: Dict[str, object]) -> None:
+        value = metrics.get(self.monitor)
+        if value is None:
+            return
+        value = float(value)
+        sign = 1.0 if self.mode == "max" else -1.0
+        if self.best is None or sign * (value - self.best) > self.min_delta:
+            self.best = value
+            self.stale = 0
+        else:
+            self.stale += 1
+            if self.stale >= self.patience:
+                self.stopped_epoch = epoch
+
+    def should_stop(self) -> bool:
+        return self.stopped_epoch is not None

@@ -61,6 +61,7 @@ class DistillationTrainer(MassTrainer):
                        **_unused) -> np.ndarray:
         """Algorithm 1 lines 3–8 for a batch; returns ``U`` of shape (n, k)."""
         similarities = self.similarities(hypervectors)
+        self._record_margins(similarities, labels)
         mass_update = one_hot(labels, self.num_classes) - similarities
         if self.alpha == 0.0 or teacher_logits is None:
             if self.alpha > 0.0:

@@ -33,6 +33,7 @@ from .. import nn
 from ..hd.encoders import RandomProjectionEncoder
 from ..nn import Tensor
 from ..nn import functional as F
+from ..telemetry import get_registry, span
 
 if TYPE_CHECKING:  # avoid an import cycle; the guard is duck-typed
     from ..reliability.guards import NumericsGuard
@@ -152,26 +153,33 @@ class ManifoldLearner:
         if encoder.in_features != self.out_features:
             raise ValueError("encoder input size must match manifold output")
         update = np.atleast_2d(update)
-        reduced = self.forward_tensor(features_flat)
-        raw = reduced @ Tensor(encoder.projection)
-        encoded = raw.sign_ste()
-        # δ scaled by 1/D: constant positive factor, irrelevant to the
-        # direction of the gradient, keeps magnitudes O(1).
-        sims = (encoded @ Tensor(class_matrix.T)) * (1.0 / encoder.dim)
-        loss = -(Tensor(update) * sims).sum() * (1.0 / len(update))
-        self.optimizer.zero_grad()
-        loss.backward()
-        if self.guard is not None:
+        registry = get_registry()
+        with span("stage.manifold",
+                  nbytes=int(np.asarray(features_flat).nbytes)):
+            reduced = self.forward_tensor(features_flat)
+            raw = reduced @ Tensor(encoder.projection)
+            encoded = raw.sign_ste()
+            # δ scaled by 1/D: constant positive factor, irrelevant to the
+            # direction of the gradient, keeps magnitudes O(1).
+            sims = (encoded @ Tensor(class_matrix.T)) * (1.0 / encoder.dim)
+            loss = -(Tensor(update) * sims).sum() * (1.0 / len(update))
+            self.optimizer.zero_grad()
+            loss.backward()
             gradients = [p.grad for p in self.fc.parameters()
                          if p.grad is not None]
-            if not self.guard.ok("manifold.step",
-                                 np.asarray(loss.item()), *gradients):
+            if self.guard is not None and not self.guard.ok(
+                    "manifold.step", np.asarray(loss.item()), *gradients):
                 # Veto: drop the poisoned gradients, leave the FC weights
                 # and Adam state untouched, report a neutral loss.
                 self.optimizer.zero_grad()
+                registry.inc("manifold.vetoed_steps")
                 return 0.0
-        self.optimizer.step()
-        return float(loss.item())
+            grad_norm = float(np.sqrt(sum(
+                float((g * g).sum()) for g in gradients)))
+            registry.observe("manifold.loss", float(loss.item()))
+            registry.observe("manifold.grad_norm", grad_norm)
+            self.optimizer.step()
+            return float(loss.item())
 
     # ------------------------------------------------------------------
     def decode_error(self, update: np.ndarray, hypervectors: np.ndarray,

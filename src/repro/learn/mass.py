@@ -18,15 +18,18 @@ the one-hot target — raw bipolar dot products grow with D and would make
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Sequence)
 
 import numpy as np
 
 from ..data.loader import one_hot
+from ..telemetry import clock, get_registry, span
 from .centroid import train_centroids
 
 if TYPE_CHECKING:  # avoid an import cycle; the guard is duck-typed
     from ..reliability.guards import NumericsGuard
+    from .callbacks import TrainerCallback
 
 __all__ = ["normalized_similarity", "MassTrainer"]
 
@@ -92,7 +95,29 @@ class MassTrainer:
                                             self.num_classes)
 
     def similarities(self, hypervectors: np.ndarray) -> np.ndarray:
-        return normalized_similarity(self.class_matrix, hypervectors)
+        with span("stage.similarity",
+                  nbytes=int(np.asarray(hypervectors).nbytes)):
+            return normalized_similarity(self.class_matrix, hypervectors)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_margins(similarities: np.ndarray,
+                        labels: np.ndarray) -> None:
+        """Publish the batch's similarity margins to telemetry.
+
+        The margin of a sample is ``δ_true − max_other δ`` — positive
+        when classified correctly, and its magnitude measures how safely.
+        The distribution (histogram ``train.similarity_margin``) is the
+        paper's Fig. 7-style view on how separated the classes are.
+        """
+        similarities = np.atleast_2d(similarities)
+        labels = np.asarray(labels)
+        rows = np.arange(len(similarities))
+        true_sims = similarities[rows, labels]
+        masked = similarities.copy()
+        masked[rows, labels] = -np.inf
+        margins = true_sims - masked.max(axis=1)
+        get_registry().observe_many("train.similarity_margin", margins)
 
     # ------------------------------------------------------------------
     def compute_update(self, hypervectors: np.ndarray, labels: np.ndarray,
@@ -103,7 +128,9 @@ class MassTrainer:
         ``M += λ Uᵀ H`` application is shared.
         """
         targets = one_hot(labels, self.num_classes)
-        return targets - self.similarities(hypervectors)
+        similarities = self.similarities(hypervectors)
+        self._record_margins(similarities, labels)
+        return targets - similarities
 
     def step(self, hypervectors: np.ndarray, labels: np.ndarray,
              **update_kwargs) -> bool:
@@ -115,17 +142,28 @@ class MassTrainer:
         (returns False) or raises, per the guard's policy.
         """
         hypervectors = np.atleast_2d(hypervectors)
-        if self.guard is not None:
-            extras = [np.asarray(v) for v in update_kwargs.values()
-                      if isinstance(v, (np.ndarray, list, tuple, float, int))]
-            if not self.guard.ok("mass.inputs", hypervectors, *extras):
+        registry = get_registry()
+        registry.inc("train.batches")
+        registry.inc("train.samples", len(hypervectors))
+        with span("stage.update", nbytes=int(hypervectors.nbytes)):
+            if self.guard is not None:
+                extras = [np.asarray(v) for v in update_kwargs.values()
+                          if isinstance(v, (np.ndarray, list, tuple,
+                                            float, int))]
+                if not self.guard.ok("mass.inputs", hypervectors, *extras):
+                    registry.inc("train.skipped_batches")
+                    return False
+            update = self.compute_update(hypervectors, labels,
+                                         **update_kwargs)
+            if self.guard is not None and not self.guard.ok("mass.update",
+                                                            update):
+                registry.inc("train.skipped_batches")
                 return False
-        update = self.compute_update(hypervectors, labels, **update_kwargs)
-        if self.guard is not None and not self.guard.ok("mass.update",
-                                                        update):
-            return False
-        scale = self.lr / np.sqrt(self.dim)
-        self.class_matrix += scale * update.T @ hypervectors
+            scale = self.lr / np.sqrt(self.dim)
+            delta = scale * update.T @ hypervectors
+            registry.observe("train.update_norm",
+                             float(np.linalg.norm(delta)))
+            self.class_matrix += delta
         return True
 
     # ------------------------------------------------------------------
@@ -154,7 +192,8 @@ class MassTrainer:
             extra_per_sample: Optional[Dict[str, np.ndarray]] = None,
             start_epoch: int = 0,
             epoch_callback: Optional[Callable[[int, Dict[str, List[float]]],
-                                              None]] = None
+                                              None]] = None,
+            callbacks: Optional[Sequence["TrainerCallback"]] = None
             ) -> Dict[str, List[float]]:
         """Run retraining epochs; returns per-epoch training accuracy.
 
@@ -162,12 +201,19 @@ class MassTrainer:
         logits for the distillation subclass); it is shuffled and batched
         together with the hypervectors.
 
-        ``start_epoch``/``epoch_callback`` support checkpoint/resume: the
-        loop runs epochs ``[start_epoch, epochs)`` and invokes
-        ``epoch_callback(epoch, history)`` after each epoch, which is
-        where the pipelines hook their atomic checkpoint writes.  A
-        resumed caller passes ``initialize=False`` and a shuffle ``rng``
-        restored to the killed run's state for bit-exact continuation.
+        ``start_epoch`` supports checkpoint/resume: the loop runs epochs
+        ``[start_epoch, epochs)``.  A resumed caller passes
+        ``initialize=False`` and a shuffle ``rng`` restored to the killed
+        run's state for bit-exact continuation.
+
+        ``callbacks`` are :class:`repro.learn.callbacks.TrainerCallback`
+        instances: after every epoch each receives
+        ``on_epoch_end(epoch, metrics)`` with ``{"epoch", "train_acc",
+        "epoch_time_s", "history"}`` and is then polled via
+        ``should_stop()``; checkpoint writes, telemetry publication and
+        early stopping all ride this hook.  The legacy
+        ``epoch_callback(epoch, history)`` closure still works and runs
+        after the callbacks.
         """
         hypervectors = np.atleast_2d(hypervectors)
         labels = np.asarray(labels)
@@ -178,9 +224,15 @@ class MassTrainer:
         if initialize:
             self.initialize(hypervectors, labels)
         extra_per_sample = extra_per_sample or {}
+        callbacks = list(callbacks or [])
 
-        history: Dict[str, List[float]] = {"train_acc": []}
+        history: Dict[str, List[float]] = {"train_acc": [],
+                                           "epoch_time": []}
+        for callback in callbacks:
+            callback.on_fit_start(self, epochs)
+        stop = False
         for epoch in range(start_epoch, epochs):
+            epoch_start = clock()
             # A fresh permutation per epoch (rather than in-place shuffling
             # of a persistent index array) makes each epoch's ordering a
             # pure function of the RNG state — the property checkpoint
@@ -191,9 +243,22 @@ class MassTrainer:
                 kwargs = {key: value[batch]
                           for key, value in extra_per_sample.items()}
                 self.step(hypervectors[batch], labels[batch], **kwargs)
-            history["train_acc"].append(self.accuracy(hypervectors, labels))
+            train_acc = self.accuracy(hypervectors, labels)
+            epoch_time = clock() - epoch_start
+            history["train_acc"].append(train_acc)
+            history["epoch_time"].append(epoch_time)
+            metrics = {"epoch": epoch, "train_acc": train_acc,
+                       "epoch_time_s": epoch_time, "history": history}
+            for callback in callbacks:
+                callback.on_epoch_end(epoch, metrics)
             if epoch_callback is not None:
                 epoch_callback(epoch, history)
+            if any(callback.should_stop() for callback in callbacks):
+                stop = True
+            if stop:
+                break
+        for callback in callbacks:
+            callback.on_fit_end(history)
         return history
 
     # ------------------------------------------------------------------

@@ -27,7 +27,9 @@ from ..models.base import IndexedCNN
 from ..models.extractor import FeatureExtractor, TeacherModel
 from ..nn.serialize import (CheckpointError, load_state_with_manifest,
                             save_state)
+from ..telemetry import clock, get_registry, span
 from ..utils.rng import derive_rng, fresh_rng, get_rng_state, set_rng_state
+from .callbacks import CheckpointCallback
 from .distill import DistillationTrainer
 from .manifold import ManifoldLearner
 from .mass import MassTrainer
@@ -221,20 +223,33 @@ class _HDPipeline:
             checkpoint_path: Optional[str], checkpoint_every: int,
             extra_per_sample: Optional[Dict[str, np.ndarray]] = None
     ) -> Dict[str, List[float]]:
-        """Run ``trainer.fit`` with per-epoch atomic checkpoint writes."""
-        prefix = list((saved_history or {}).get("train_acc", []))
-        callback = None
+        """Run ``trainer.fit`` with per-epoch atomic checkpoint writes.
+
+        Checkpointing rides the :class:`repro.learn.callbacks
+        .CheckpointCallback` hook (the ad-hoc ``epoch_callback`` closure
+        this used to build is gone); the callback also merges the history
+        restored from a previous checkpoint into every write so the
+        persisted history stays complete across resumes.
+        """
+        callbacks = []
+        checkpoint_cb = None
         if checkpoint_path:
-            def callback(epoch: int, history: Dict[str, List[float]]) -> None:
-                if (epoch + 1) % checkpoint_every == 0 or epoch + 1 == epochs:
-                    merged = {"train_acc": prefix + history["train_acc"]}
-                    self.save_checkpoint(checkpoint_path, epoch + 1, merged)
+            checkpoint_cb = CheckpointCallback(
+                self, checkpoint_path, every=checkpoint_every,
+                total_epochs=epochs, history_prefix=saved_history)
+            callbacks.append(checkpoint_cb)
         history = self.trainer.fit(
             encoded, labels, epochs=epochs, batch_size=batch_size,
             rng=self._train_rng, initialize=(start_epoch == 0),
             extra_per_sample=extra_per_sample, start_epoch=start_epoch,
-            epoch_callback=callback)
-        return {"train_acc": prefix + history["train_acc"]}
+            callbacks=callbacks)
+        if checkpoint_cb is not None:
+            return checkpoint_cb.merged_history(history)
+        prefix = {key: list(values)
+                  for key, values in (saved_history or {}).items()}
+        for key, values in history.items():
+            prefix[key] = prefix.get(key, []) + list(values)
+        return prefix
 
 
 class NSHD(_HDPipeline):
@@ -332,9 +347,10 @@ class NSHD(_HDPipeline):
         logits are cached up front, which is the efficiency argument of
         Sec. VI-A (no CNN backpropagation anywhere in NSHD training).
         """
-        raw_features = self.extractor.extract(images)
-        teacher_logits = (self.teacher.logits(images)
-                          if self.use_distillation else None)
+        with span("stage.extract", nbytes=int(np.asarray(images).nbytes)):
+            raw_features = self.extractor.extract(images)
+            teacher_logits = (self.teacher.logits(images)
+                              if self.use_distillation else None)
         return self.fit_features(raw_features, labels, teacher_logits,
                                  epochs=epochs, batch_size=batch_size,
                                  verbose=verbose)
@@ -388,8 +404,11 @@ class NSHD(_HDPipeline):
             "train_acc": list((saved_history or {}).get("train_acc", [])),
             "manifold_loss": list((saved_history or {}).get("manifold_loss",
                                                             [])),
+            "epoch_time": list((saved_history or {}).get("epoch_time", [])),
         }
+        registry = get_registry()
         for epoch in range(start_epoch, epochs):
+            epoch_start = clock()
             # Fresh permutation per epoch: the ordering is a pure function
             # of the RNG state, which is what lets a restored checkpoint
             # replay the remaining epochs bit-exactly.
@@ -398,8 +417,11 @@ class NSHD(_HDPipeline):
             for start in range(0, len(indices), batch_size):
                 batch = indices[start:start + batch_size]
                 feats_b = features[batch]
-                reduced = self._reduced(feats_b)
-                encoded = self.encoder.encode(reduced)
+                with span("stage.manifold", nbytes=int(feats_b.nbytes)):
+                    reduced = self._reduced(feats_b)
+                with span("stage.encode", nbytes=int(
+                        np.asarray(reduced).nbytes)):
+                    encoded = self.encoder.encode(reduced)
                 kwargs = {}
                 if self.use_distillation:
                     kwargs["teacher_logits"] = teacher_logits[batch]
@@ -415,11 +437,18 @@ class NSHD(_HDPipeline):
                         feats_b, update, self.encoder,
                         self.trainer.class_matrix)
                     epoch_losses.append(loss)
-            encoded_all = self.encode_features(features)
-            history["train_acc"].append(
-                self.trainer.accuracy(encoded_all, labels))
+            with span("pipeline.eval"):
+                encoded_all = self.encode_features(features)
+                train_acc = self.trainer.accuracy(encoded_all, labels)
+            epoch_time = clock() - epoch_start
+            history["train_acc"].append(train_acc)
             history["manifold_loss"].append(
                 float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+            history["epoch_time"].append(epoch_time)
+            registry.inc("train.epochs")
+            registry.set_gauge("train.epoch", float(epoch))
+            registry.set_gauge("train.train_acc", train_acc)
+            registry.observe("train.epoch_time_s", epoch_time)
             if checkpoint_path and ((epoch + 1) % checkpoint_every == 0
                                     or epoch + 1 == epochs):
                 self.save_checkpoint(checkpoint_path, epoch + 1, history)

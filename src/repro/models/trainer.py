@@ -21,6 +21,7 @@ from .. import nn
 from ..data import augment_batch, iterate_batches
 from ..nn import Tensor
 from ..nn import functional as F
+from ..telemetry import clock, get_registry, span
 from .base import IndexedCNN
 from .registry import create_model
 
@@ -67,32 +68,39 @@ def train_cnn(model: IndexedCNN, x_train: np.ndarray, y_train: np.ndarray,
         raise ValueError(f"unknown optimizer {optimizer!r}")
     schedule = nn.CosineLR(opt, total_epochs=epochs)
 
+    registry = get_registry()
     history: Dict[str, List[float]] = {"loss": [], "train_acc": [],
-                                       "val_acc": []}
+                                       "val_acc": [], "epoch_time": []}
     for epoch in range(epochs):
+        epoch_start = clock()
         model.train()
         losses = []
-        for x_batch, y_batch in iterate_batches(x_train, y_train, batch_size,
-                                                rng=rng):
-            if augment:
-                x_batch = augment_batch(x_batch, rng)
-            if guard is not None and not guard.ok("cnn.batch", x_batch):
-                continue  # never let NaN inputs touch BN running stats
-            opt.zero_grad()
-            logits = model(Tensor(x_batch))
-            loss = F.cross_entropy(logits, y_batch)
-            loss.backward()
-            if guard is not None:
-                gradients = [p.grad for p in model.parameters()
-                             if p.grad is not None]
-                if not guard.ok("cnn.step", np.asarray(loss.item()),
-                                *gradients):
-                    continue  # skip the poisoned optimizer step
-            opt.step()
-            losses.append(loss.item())
+        with span("cnn.train_epoch", nbytes=int(x_train.nbytes)):
+            for x_batch, y_batch in iterate_batches(x_train, y_train,
+                                                    batch_size, rng=rng):
+                if augment:
+                    x_batch = augment_batch(x_batch, rng)
+                if guard is not None and not guard.ok("cnn.batch", x_batch):
+                    continue  # never let NaN inputs touch BN running stats
+                opt.zero_grad()
+                logits = model(Tensor(x_batch))
+                loss = F.cross_entropy(logits, y_batch)
+                loss.backward()
+                if guard is not None:
+                    gradients = [p.grad for p in model.parameters()
+                                 if p.grad is not None]
+                    if not guard.ok("cnn.step", np.asarray(loss.item()),
+                                    *gradients):
+                        continue  # skip the poisoned optimizer step
+                opt.step()
+                losses.append(loss.item())
         schedule.step()
 
         history["loss"].append(float(np.mean(losses)) if losses else 0.0)
+        history["epoch_time"].append(clock() - epoch_start)
+        registry.inc("cnn.epochs")
+        registry.observe("cnn.loss", history["loss"][-1])
+        registry.observe("cnn.epoch_time_s", history["epoch_time"][-1])
         is_last = epoch == epochs - 1
         if is_last or (eval_every and (epoch + 1) % eval_every == 0):
             history["train_acc"].append(model.accuracy(x_train, y_train))

@@ -22,8 +22,13 @@ Policies
     Silently skip the offending update, counting it in
     :attr:`NumericsGuard.batches_skipped` (best for long unattended runs).
 
-The guard is deliberately dependency-free (numpy + stdlib only) so every
-layer of the code base can hook it without import cycles.
+The guard is deliberately dependency-free (numpy + stdlib + the equally
+dependency-free :mod:`repro.telemetry`) so every layer of the code base
+can hook it without import cycles.  Guard events additionally increment
+the process-global telemetry counters ``guard.nan_batches``,
+``guard.inf_batches``, ``guard.overflow_batches``, ``guard.violations``
+and ``guard.skipped_batches`` so long unattended runs surface guard
+activity in the run report and Prometheus exposition.
 """
 
 from __future__ import annotations
@@ -32,6 +37,8 @@ import warnings
 from typing import Dict, List, Optional
 
 import numpy as np
+
+from ..telemetry import get_registry
 
 __all__ = ["NumericsError", "NumericsWarning", "NumericsGuard", "POLICIES"]
 
@@ -90,13 +97,19 @@ class NumericsGuard:
             return None
         nan = int(np.isnan(data).sum())
         inf = int(np.isinf(data).sum())
+        registry = get_registry()
         if nan or inf:
             self.counts["nan"] += nan
             self.counts["inf"] += inf
+            if nan:
+                registry.inc("guard.nan_batches")
+            if inf:
+                registry.inc("guard.inf_batches")
             return f"{nan} NaN and {inf} Inf of {data.size} values"
         peak = float(np.abs(data).max())
         if peak > self.max_abs:
             self.counts["overflow"] += 1
+            registry.inc("guard.overflow_batches")
             return (f"finite overflow: max |x| = {peak:.3e} exceeds "
                     f"max_abs = {self.max_abs:.1e}")
         return None
@@ -104,11 +117,13 @@ class NumericsGuard:
     def _handle(self, message: str) -> bool:
         if len(self.violations) < self.max_log:
             self.violations.append(message)
+        get_registry().inc("guard.violations")
         if self.policy == "raise":
             raise NumericsError(message)
         if self.policy == "warn":
             warnings.warn(message, NumericsWarning, stacklevel=3)
         self.batches_skipped += 1
+        get_registry().inc("guard.skipped_batches")
         return False
 
     # ------------------------------------------------------------------

@@ -1,0 +1,58 @@
+"""Telemetry subsystem: metrics, tracing spans, profiling, exporters.
+
+The observability layer for the NSHD reproduction (zero dependencies
+beyond numpy + stdlib, importable from every other layer):
+
+* :mod:`~repro.telemetry.metrics` — process-global
+  :class:`MetricsRegistry` of counters, gauges and streaming histograms
+  (P² quantiles: p50/p95/p99 without storing samples).
+* :mod:`~repro.telemetry.tracing` — nestable :class:`span` context
+  managers building a hierarchical timing tree with a thread-local
+  current-span stack; :func:`clock` is the shared monotonic clock.
+* :mod:`~repro.telemetry.profiler` — :class:`Profiler` hooking the
+  autograd engine for per-op / per-layer forward+backward time and
+  FLOP/MAC estimates; near-zero overhead while disabled.
+* :mod:`~repro.telemetry.exporters` — JSONL event log and
+  Prometheus-style text exposition (plus parsers for round-tripping).
+* :mod:`~repro.telemetry.report` — rendered console/markdown run report
+  with the extract → manifold → encode → similarity → update stage
+  breakdown and the top-k hottest ops.
+
+Quickstart::
+
+    from repro import telemetry
+
+    with telemetry.Profiler() as prof:
+        nshd.fit(x_train, y_train, epochs=5)
+    print(telemetry.render_report(profiler=prof))
+    telemetry.export_jsonl("run.jsonl", profiler=prof)
+"""
+
+from .exporters import (collect_events, export_jsonl, export_prometheus,
+                        parse_prometheus, prometheus_text, read_jsonl,
+                        sanitize_metric_name)
+from .metrics import (DEFAULT_QUANTILES, Counter, Gauge, Histogram,
+                      MetricsRegistry, P2Quantile, get_registry,
+                      set_registry, use_registry)
+from .profiler import (LayerStat, OpStat, Profiler, disabled_overhead_ratio,
+                       get_active_profiler)
+from .report import format_table, render_report, stage_breakdown
+from .tracing import (SpanNode, Tracer, add_bytes, clock, current_span,
+                      get_tracer, set_tracer, span)
+
+__all__ = [
+    # metrics
+    "Counter", "Gauge", "Histogram", "P2Quantile", "MetricsRegistry",
+    "get_registry", "set_registry", "use_registry", "DEFAULT_QUANTILES",
+    # tracing
+    "SpanNode", "Tracer", "span", "get_tracer", "set_tracer",
+    "current_span", "add_bytes", "clock",
+    # profiler
+    "OpStat", "LayerStat", "Profiler", "get_active_profiler",
+    "disabled_overhead_ratio",
+    # exporters
+    "collect_events", "export_jsonl", "read_jsonl", "prometheus_text",
+    "export_prometheus", "parse_prometheus", "sanitize_metric_name",
+    # report
+    "format_table", "render_report", "stage_breakdown",
+]

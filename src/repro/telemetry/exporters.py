@@ -1,0 +1,195 @@
+"""Exporters: JSONL event log and Prometheus-style text format.
+
+Two machine-readable sinks plus parsers for round-tripping them in tests
+and downstream analysis:
+
+* **JSONL** — one JSON object per line; mixes metric snapshots, span-tree
+  nodes and profiler op/layer records, each tagged with a ``type`` field.
+  Append-friendly and greppable, the baseline-capture format every
+  subsequent perf PR diffs against.
+* **Prometheus text exposition** — counters and gauges verbatim, [0]
+  histograms as Prometheus *summaries* (``name{quantile="0.5"} …`` +
+  ``name_sum`` / ``name_count``).  Dotted metric names become
+  underscore-separated and get a ``repro_`` prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import time
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry, get_registry
+from .tracing import Tracer, get_tracer
+
+__all__ = ["collect_events", "export_jsonl", "read_jsonl",
+           "prometheus_text", "export_prometheus", "parse_prometheus",
+           "sanitize_metric_name"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """``guard.nan_batches`` → ``repro_guard_nan_batches``."""
+    cleaned = _NAME_RE.sub("_", name.replace(".", "_"))
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _finite(value: float) -> Optional[float]:
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return None
+    return value if math.isfinite(value) else None
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def collect_events(registry: Optional[MetricsRegistry] = None,
+                   tracer: Optional[Tracer] = None,
+                   profiler=None,
+                   meta: Optional[Dict[str, object]] = None
+                   ) -> List[Dict[str, object]]:
+    """Gather one run's telemetry into a flat, JSON-serializable list."""
+    events: List[Dict[str, object]] = [{
+        "type": "meta",
+        "timestamp": time.time(),
+        **(meta or {}),
+    }]
+    registry = registry if registry is not None else get_registry()
+    for name, entry in registry.snapshot().items():
+        # "type" stays the event discriminator; the metric kind
+        # (counter/gauge/histogram) moves to "metric_type".
+        event = {"type": "metric", "name": name,
+                 "metric_type": entry["type"]}
+        event.update({k: v for k, v in entry.items() if k != "type"})
+        events.append(event)
+    tracer = tracer if tracer is not None else get_tracer()
+    events.extend(tracer.to_events())
+    if profiler is not None:
+        events.extend(profiler.to_events())
+    return events
+
+
+def export_jsonl(path: str,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 profiler=None,
+                 meta: Optional[Dict[str, object]] = None) -> int:
+    """Write the run's telemetry as JSONL; returns the line count."""
+    events = collect_events(registry, tracer, profiler, meta)
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(_jsonable(event), sort_keys=True))
+            handle.write("\n")
+    return len(events)
+
+
+def _jsonable(event: Dict[str, object]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for key, value in event.items():
+        if isinstance(value, float) and not math.isfinite(value):
+            value = None  # JSON has no NaN/Inf; null round-trips cleanly
+        out[key] = value
+    return out
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL telemetry file back into event dicts."""
+    events = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: invalid JSONL line: {exc}") from exc
+    return events
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+def prometheus_text(registry: Optional[MetricsRegistry] = None,
+                    prefix: str = "repro") -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for name, entry in registry.snapshot().items():
+        metric = sanitize_metric_name(name, prefix)
+        kind = entry["type"]
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {metric} {kind}")
+            value = _finite(entry["value"])
+            lines.append(f"{metric} {0.0 if value is None else value:g}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} summary")
+            for key, value in entry.items():
+                if not key.startswith("p"):
+                    continue
+                quantile = float(key[1:]) / 100.0
+                value = _finite(value)
+                if value is None:
+                    continue
+                lines.append(f'{metric}{{quantile="{quantile:g}"}} {value:g}')
+            total = _finite(entry.get("sum", 0.0)) or 0.0
+            lines.append(f"{metric}_sum {total:g}")
+            lines.append(f"{metric}_count {entry.get('count', 0):g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_prometheus(path: str,
+                      registry: Optional[MetricsRegistry] = None,
+                      prefix: str = "repro") -> str:
+    """Write :func:`prometheus_text` to ``path``; returns the text."""
+    text = prometheus_text(registry, prefix)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text
+
+
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s]+)$')
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse Prometheus exposition text back into a nested dict.
+
+    Returns ``{metric_name: {"type": str, "samples": {labels: value}}}``
+    where ``labels`` is the raw label string ("" when absent).  Supports
+    exactly the subset :func:`prometheus_text` emits — enough for
+    round-trip tests and for diffing two runs' metric files.
+    """
+    out: Dict[str, Dict[str, object]] = {}
+    for line_no, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                out.setdefault(parts[2], {"type": parts[3], "samples": {}})
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: unparseable sample {line!r}")
+        name = match.group("name")
+        # _sum/_count samples belong to their parent summary metric.
+        base = name
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in out:
+                base = name[:-len(suffix)]
+                break
+        entry = out.setdefault(base, {"type": "untyped", "samples": {}})
+        key = match.group("labels") or ""
+        if base != name:
+            key = name[len(base) + 1:]  # "sum" / "count"
+        entry["samples"][key] = float(match.group("value"))
+    return out

@@ -1,0 +1,383 @@
+"""Process-global metrics: counters, gauges, streaming histograms.
+
+The registry is the numeric backbone of the observability layer: every
+subsystem (guards, trainers, HD encoders, the profiler) publishes into
+one process-global :class:`MetricsRegistry` so a single exporter call can
+snapshot the whole run.  Everything here is numpy + stdlib only — the
+telemetry layer must be importable from every other layer of the code
+base without creating import cycles.
+
+Histograms estimate p50/p95/p99 *without storing samples* using the P²
+(piecewise-parabolic) streaming quantile algorithm of Jain & Chlamtac
+(CACM 1985): five markers per tracked quantile, O(1) memory and O(1)
+update, accurate to a few percent of quantile rank on the distributions
+that show up in training telemetry (timings, norms, margins).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "P2Quantile", "MetricsRegistry",
+    "get_registry", "set_registry", "use_registry",
+    "DEFAULT_QUANTILES",
+]
+
+#: Quantiles tracked by default by every :class:`Histogram`.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class Counter:
+    """Monotonically increasing counter (thread-safe)."""
+
+    kind = "counter"
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def summary(self) -> Dict[str, float]:
+        return {"value": self._value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (thread-safe)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def summary(self) -> Dict[str, float]:
+        return {"value": self._value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self._value})"
+
+
+class P2Quantile:
+    """Streaming quantile estimator (P² algorithm, Jain & Chlamtac 1985).
+
+    Five markers track the running minimum, the q/2, q and (1+q)/2
+    quantiles and the running maximum; marker heights are adjusted with a
+    piecewise-parabolic (hence P²) interpolation as observations stream
+    in.  Memory is O(1) regardless of stream length.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments",
+                 "_initial")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = q
+        self._initial: List[float] = []
+        self._heights: Optional[List[float]] = None
+        self._positions = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q,
+                         5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    # ------------------------------------------------------------------
+    def observe(self, x: float) -> None:
+        x = float(x)
+        if self._heights is None:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+            return
+
+        h = self._heights
+        n = self._positions
+        # Locate the marker cell containing x (adjusting extremes).
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            for i in range(1, 4):
+                if x >= h[i]:
+                    k = i
+        for i in range(k + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # Adjust the three interior markers toward their desired positions.
+        for i in range(1, 4):
+            d = self._desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1) or \
+                    (d <= -1.0 and n[i - 1] - n[i] < -1):
+                d = 1 if d > 0 else -1
+                candidate = self._parabolic(i, d)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, d)
+                n[i] += d
+
+    def _parabolic(self, i: int, d: int) -> float:
+        h, n = self._heights, self._positions
+        num1 = (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+        num2 = (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        return h[i] + d * (num1 + num2) / (n[i + 1] - n[i - 1])
+
+    def _linear(self, i: int, d: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + d * (h[i + d] - h[i]) / (n[i + d] - n[i])
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        if self._heights is None:
+            return len(self._initial)
+        return self._positions[4]
+
+    def value(self) -> float:
+        """Current quantile estimate (NaN until the first observation)."""
+        if self._heights is not None:
+            return self._heights[2]
+        if not self._initial:
+            return math.nan
+        # Fewer than 5 samples: exact interpolated quantile.
+        return float(np.quantile(np.asarray(self._initial), self.q))
+
+
+class Histogram:
+    """Streaming summary: count/sum/min/max + P² quantile estimates."""
+
+    kind = "histogram"
+    __slots__ = ("name", "quantiles", "_estimators", "count", "sum",
+                 "min", "max", "_lock")
+
+    def __init__(self, name: str,
+                 quantiles: Sequence[float] = DEFAULT_QUANTILES):
+        self.name = name
+        self.quantiles = tuple(quantiles)
+        if not self.quantiles:
+            raise ValueError("need at least one tracked quantile")
+        self._estimators = {q: P2Quantile(q) for q in self.quantiles}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            return  # non-finite samples would wedge the marker invariants
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for estimator in self._estimators.values():
+                estimator.observe(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in np.asarray(list(values), dtype=np.float64).ravel():
+            self.observe(value)
+
+    def quantile(self, q: float) -> float:
+        if q not in self._estimators:
+            raise KeyError(
+                f"histogram {self.name!r} does not track q={q} "
+                f"(tracked: {self.quantiles})")
+        return self._estimators[q].value()
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def summary(self) -> Dict[str, float]:
+        out = {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+        }
+        for q in self.quantiles:
+            out[f"p{q * 100:g}"] = self._estimators[q].value()
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._estimators = {q: P2Quantile(q) for q in self.quantiles}
+            self.count = 0
+            self.sum = 0.0
+            self.min = math.inf
+            self.max = -math.inf
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}, count={self.count}, "
+                f"p50={self.quantile(0.5) if 0.5 in self._estimators else '?'})")
+
+
+class MetricsRegistry:
+    """Name → metric map with get-or-create accessors (thread-safe).
+
+    Metric names are dotted paths (``guard.nan_batches``,
+    ``train.epoch_time_s``); exporters translate them to whatever naming
+    scheme the sink wants (Prometheus uses underscores).
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif metric.kind != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested {kind}")
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str,
+                  quantiles: Sequence[float] = DEFAULT_QUANTILES
+                  ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, quantiles), "histogram")
+
+    # Convenience one-liners used by instrumented call sites ------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def observe_many(self, name: str, values: Iterable[float]) -> None:
+        self.histogram(name).observe_many(values)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str):
+        """Return the metric registered under ``name`` (KeyError if none)."""
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time copy: name → {"type": ..., **summary}."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            entry: Dict[str, object] = {"type": metric.kind}
+            entry.update(metric.summary())
+            out[name] = entry
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests / run boundaries)."""
+        with self._lock:
+            self._metrics = {}
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+# ----------------------------------------------------------------------
+# Process-global default registry
+# ----------------------------------------------------------------------
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry all built-in instrumentation targets."""
+    return _GLOBAL_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry; returns the previous one."""
+    global _GLOBAL_REGISTRY
+    previous = _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: Optional[MetricsRegistry] = None):
+    """Scoped registry swap (tests, isolated profiled runs).
+
+    Yields the active registry; restores the previous global on exit.
+    """
+    registry = registry or MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,204 @@
+"""Rendered run reports: console/markdown view of one profiled run.
+
+Pulls the three telemetry sources together — metrics registry, span
+tree, profiler — into a single markdown document with:
+
+* a stage-level wall-time breakdown (``stage.*`` spans, *self* time so
+  nested stages never double-count);
+* the top-k hottest autograd ops (forward + backward time, FLOPs);
+* per-layer forward costs;
+* a metrics summary table (counters, gauges, histogram quantiles);
+* the raw span tree for drill-down.
+
+``scripts/profile_run.py`` prints this to the console and writes it next
+to the JSONL/Prometheus exports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import MetricsRegistry, get_registry
+from .tracing import Tracer, get_tracer
+
+__all__ = ["format_table", "stage_breakdown", "render_report"]
+
+#: Canonical pipeline stage order for the breakdown table (paper Fig. 5's
+#: extract → manifold → encode → similarity → update decomposition).
+STAGE_ORDER = ("stage.extract", "stage.manifold", "stage.encode",
+               "stage.similarity", "stage.update")
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-markdown table with right-aligned numeric columns."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [max(len(str(h)), *(len(r[i]) for r in rendered))
+              if rendered else len(str(h))
+              for i, h in enumerate(headers)]
+    numeric = [all(_is_numeric(row[i]) for row in rows) if rows else False
+               for i in range(len(headers))]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i]
+                         else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "|" + "|".join(
+        ("-" * (w + 1) + ":") if numeric[i] else ("-" * (w + 2))
+        for i, w in enumerate(widths)) + "|"
+    out = [line([str(h) for h in headers]), sep]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value != 0 and abs(value) < 1e-3:
+            return f"{value:.2e}"
+        return f"{value:.4f}" if abs(value) < 100 else f"{value:,.1f}"
+    return str(value)
+
+
+def _nested_stage_total(node) -> float:
+    """Total time of the *nearest* ``stage.*`` descendants of ``node``.
+
+    Non-stage children are traversed transparently so e.g. the
+    ``hd.encode.*`` span nested inside ``stage.encode`` rolls up into its
+    enclosing stage rather than hollowing it out, while a stage nested in
+    a stage (``stage.similarity`` inside ``stage.update``) is subtracted
+    exactly once.
+    """
+    total = 0.0
+    for child in node.children.values():
+        if child.name.startswith("stage."):
+            total += child.total_s
+        else:
+            total += _nested_stage_total(child)
+    return total
+
+
+def stage_breakdown(tracer: Optional[Tracer] = None
+                    ) -> List[Dict[str, object]]:
+    """Per-stage wall-time table data from the ``stage.*`` spans.
+
+    Uses stage-relative *self* time: each stage's time minus the time of
+    stages nested inside it (non-stage helper spans stay attributed to
+    their enclosing stage), so e.g. ``stage.similarity`` nested inside
+    ``stage.update`` is counted once.  Percentages are of the sum of all
+    stage self-times.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    stages: Dict[str, Dict[str, float]] = {}
+    stack = list(tracer.root.children.values())
+    while stack:
+        node = stack.pop()
+        if node.name.startswith("stage."):
+            entry = stages.setdefault(node.name, {
+                "calls": 0, "total_s": 0.0, "self_s": 0.0, "bytes": 0})
+            entry["calls"] += node.calls
+            entry["total_s"] += node.total_s
+            entry["self_s"] += node.total_s - _nested_stage_total(node)
+            entry["bytes"] += node.bytes
+        stack.extend(node.children.values())
+    total = sum(stats["self_s"] for stats in stages.values()) or 1.0
+    ordered = [name for name in STAGE_ORDER if name in stages]
+    ordered += sorted(name for name in stages if name not in STAGE_ORDER)
+    rows = []
+    for name in ordered:
+        stats = stages[name]
+        rows.append({
+            "stage": name[len("stage."):],
+            "calls": int(stats["calls"]),
+            "self_s": stats["self_s"],
+            "total_s": stats["total_s"],
+            "share": stats["self_s"] / total,
+            "bytes": int(stats["bytes"]),
+        })
+    return rows
+
+
+def render_report(registry: Optional[MetricsRegistry] = None,
+                  tracer: Optional[Tracer] = None,
+                  profiler=None,
+                  top_k: int = 10,
+                  title: str = "Telemetry run report") -> str:
+    """Assemble the full markdown run report."""
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    sections: List[str] = [f"# {title}", ""]
+
+    # ------------------------------------------------------------------
+    stages = stage_breakdown(tracer)
+    sections.append("## Stage-level time breakdown")
+    sections.append("")
+    if stages:
+        sections.append(format_table(
+            ["stage", "calls", "self_s", "total_s", "share", "MB"],
+            [[s["stage"], s["calls"], s["self_s"], s["total_s"],
+              f"{100 * s['share']:.1f}%", s["bytes"] / 1e6]
+             for s in stages]))
+    else:
+        sections.append("(no `stage.*` spans recorded)")
+    sections.append("")
+
+    # ------------------------------------------------------------------
+    if profiler is not None:
+        sections.append(f"## Top-{top_k} hottest autograd ops")
+        sections.append("")
+        ops = profiler.top_ops(top_k)
+        if ops:
+            sections.append(format_table(
+                ["op", "calls", "fwd_s", "bwd_s", "total_s", "GFLOP", "MB"],
+                [[o.name, o.calls, o.forward_s, o.backward_s, o.total_s,
+                  o.flops / 1e9, o.bytes / 1e6] for o in ops]))
+        else:
+            sections.append("(no ops recorded — was the profiler enabled?)")
+        sections.append("")
+
+        layers = profiler.top_layers(top_k)
+        if layers:
+            sections.append("## Per-layer forward cost")
+            sections.append("")
+            sections.append(format_table(
+                ["layer", "calls", "fwd_s", "MMAC", "params"],
+                [[l.name, l.calls, l.forward_s, l.macs / 1e6, l.params]
+                 for l in layers]))
+            sections.append("")
+
+    # ------------------------------------------------------------------
+    snapshot = registry.snapshot()
+    if snapshot:
+        sections.append("## Metrics")
+        sections.append("")
+        rows = []
+        for name, entry in snapshot.items():
+            if entry["type"] in ("counter", "gauge"):
+                rows.append([name, entry["type"], entry["value"], "-", "-",
+                             "-"])
+            else:
+                rows.append([name, "histogram", entry.get("mean", math.nan),
+                             entry.get("p50", math.nan),
+                             entry.get("p95", math.nan),
+                             int(entry.get("count", 0))])
+        sections.append(format_table(
+            ["metric", "type", "value/mean", "p50", "p95", "count"], rows))
+        sections.append("")
+
+    # ------------------------------------------------------------------
+    sections.append("## Span tree")
+    sections.append("")
+    sections.append("```")
+    sections.append(tracer.render())
+    sections.append("```")
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,288 @@
+"""Hierarchical tracing spans: where does the wall time go?
+
+``with span("stage.encode", nbytes=batch.nbytes): ...`` pushes a node
+onto a *thread-local* span stack and accumulates (wall time, call count,
+bytes processed) into a process-global span *tree* shared by all
+threads.  Nested / reentrant spans simply become children, so the tree
+mirrors the dynamic call structure:
+
+    pipeline.fit
+      epoch
+        stage.manifold
+        stage.encode
+          hd.encode.random_projection
+        stage.update
+          stage.similarity
+
+Every node knows its *self time* (total minus children), which is what
+the stage-level breakdown in the run report uses so that nested stages
+never double-count.
+
+The clock is :func:`time.perf_counter`, exported as :func:`clock` so
+other modules (e.g. per-epoch timing in the pipelines' ``history``)
+share one monotonic time source with the spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["SpanNode", "Tracer", "span", "get_tracer", "set_tracer",
+           "current_span", "add_bytes", "clock"]
+
+#: Monotonic clock shared by spans and the per-epoch history timings.
+clock = time.perf_counter
+
+
+class SpanNode:
+    """Aggregated statistics of one position in the span tree."""
+
+    __slots__ = ("name", "parent", "children", "calls", "total_s", "bytes")
+
+    def __init__(self, name: str, parent: Optional["SpanNode"] = None):
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, SpanNode] = {}
+        self.calls = 0
+        self.total_s = 0.0
+        self.bytes = 0
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name, parent=self)
+            self.children[name] = node
+        return node
+
+    @property
+    def self_s(self) -> float:
+        """Wall time spent in this span excluding child spans."""
+        return self.total_s - sum(c.total_s for c in self.children.values())
+
+    @property
+    def path(self) -> str:
+        parts: List[str] = []
+        node: Optional[SpanNode] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Recursive plain-dict form (JSON-friendly)."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "bytes": self.bytes,
+            "children": [child.as_dict()
+                         for child in self.children.values()],
+        }
+
+    def __repr__(self) -> str:
+        return (f"SpanNode({self.path or '<root>'}, calls={self.calls}, "
+                f"total={self.total_s:.4f}s)")
+
+
+class Tracer:
+    """Owner of one span tree + the per-thread current-span stacks.
+
+    All threads share the same tree root; each thread has its own stack,
+    so concurrent spans from worker threads land as siblings without
+    interleaving.  Tree mutation happens under a single lock — spans are
+    batch-scale (milliseconds), so the microsecond-scale lock is noise.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.root = SpanNode("<root>")
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> SpanNode:
+        """The innermost open span of the calling thread (or the root)."""
+        return self._stack()[-1]
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop the tree.  Open spans keep recording into the old tree;
+        call between runs, not mid-span."""
+        with self._lock:
+            self.root = SpanNode("<root>")
+        self._local = threading.local()
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Collapse the tree by span *name* across all positions.
+
+        Returns ``{name: {"calls", "total_s", "self_s", "bytes"}}`` —
+        ``self_s`` sums each node's own time minus its children, so the
+        values of disjoint stages add up to (at most) the root total even
+        when stages nest.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            entry = out.setdefault(node.name, {
+                "calls": 0, "total_s": 0.0, "self_s": 0.0, "bytes": 0})
+            entry["calls"] += node.calls
+            entry["total_s"] += node.total_s
+            entry["self_s"] += node.self_s
+            entry["bytes"] += node.bytes
+            stack.extend(node.children.values())
+        return out
+
+    def to_events(self) -> List[Dict[str, object]]:
+        """Flat list of span records (one per tree node) for exporters."""
+        events: List[Dict[str, object]] = []
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            events.append({
+                "type": "span",
+                "path": node.path,
+                "name": node.name,
+                "calls": node.calls,
+                "total_s": node.total_s,
+                "self_s": node.self_s,
+                "bytes": node.bytes,
+            })
+            stack.extend(node.children.values())
+        events.sort(key=lambda e: e["path"])
+        return events
+
+    def render(self, max_depth: int = 6, min_total_s: float = 0.0) -> str:
+        """ASCII tree of the span hierarchy with times and call counts."""
+        lines = ["span tree (total_s · self_s · calls · bytes)"]
+
+        def emit(node: SpanNode, depth: int) -> None:
+            if depth > max_depth or node.total_s < min_total_s:
+                return
+            indent = "  " * depth
+            lines.append(
+                f"{indent}{node.name:<{max(1, 38 - 2 * depth)}} "
+                f"{node.total_s:9.4f}s {node.self_s:9.4f}s "
+                f"{node.calls:7d} {node.bytes:12d}")
+            children = sorted(node.children.values(),
+                              key=lambda c: -c.total_s)
+            for child in children:
+                emit(child, depth + 1)
+
+        for child in sorted(self.root.children.values(),
+                            key=lambda c: -c.total_s):
+            emit(child, 0)
+        if len(lines) == 1:
+            lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Tracer(enabled={self.enabled}, "
+                f"top_spans={sorted(self.root.children)})")
+
+
+class span:
+    """Nestable, reentrant timing context manager.
+
+    Parameters
+    ----------
+    name:
+        Span label; repeated entries at the same tree position aggregate.
+    nbytes:
+        Bytes processed inside the span, added on exit (more can be
+        attached mid-span via :meth:`add_bytes`).
+    tracer:
+        Defaults to the process-global tracer.
+
+    A disabled tracer makes ``span`` a near-no-op (one attribute check).
+    """
+
+    __slots__ = ("name", "nbytes", "tracer", "_node", "_t0")
+
+    def __init__(self, name: str, nbytes: int = 0,
+                 tracer: Optional[Tracer] = None):
+        self.name = name
+        self.nbytes = int(nbytes)
+        self.tracer = tracer
+        self._node: Optional[SpanNode] = None
+
+    def add_bytes(self, nbytes: int) -> None:
+        self.nbytes += int(nbytes)
+
+    def __enter__(self) -> "span":
+        tracer = self.tracer or _GLOBAL_TRACER
+        if not tracer.enabled:
+            self._node = None
+            return self
+        self.tracer = tracer
+        stack = tracer._stack()
+        with tracer._lock:
+            node = stack[-1].child(self.name)
+        stack.append(node)
+        self._node = node
+        self._t0 = clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        node = self._node
+        if node is None:
+            return
+        elapsed = clock() - self._t0
+        tracer = self.tracer
+        stack = tracer._stack()
+        # Pop back to this span's parent even if inner spans leaked.
+        while stack[-1] is not node and len(stack) > 1:
+            stack.pop()
+        if stack[-1] is node:
+            stack.pop()
+        with tracer._lock:
+            node.calls += 1
+            node.total_s += elapsed
+            node.bytes += self.nbytes
+        self._node = None
+
+
+# ----------------------------------------------------------------------
+# Process-global tracer
+# ----------------------------------------------------------------------
+_GLOBAL_TRACER = Tracer(enabled=True)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer used by the built-in instrumentation."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the global tracer; returns the previous one."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+def current_span() -> SpanNode:
+    """The calling thread's innermost open span node (or the root)."""
+    return _GLOBAL_TRACER.current()
+
+
+def add_bytes(nbytes: int) -> None:
+    """Attribute processed bytes to the innermost open span."""
+    tracer = _GLOBAL_TRACER
+    if not tracer.enabled:
+        return
+    node = tracer.current()
+    if node.parent is None:
+        return  # no open span
+    with tracer._lock:
+        node.bytes += int(nbytes)

@@ -1,0 +1,172 @@
+"""Exporters and reports: JSONL/Prometheus round-trips, markdown report."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (MetricsRegistry, Profiler, Tracer,
+                             collect_events, export_jsonl, export_prometheus,
+                             format_table, parse_prometheus, prometheus_text,
+                             read_jsonl, render_report, sanitize_metric_name,
+                             span, stage_breakdown)
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("guard.nan_batches", 3)
+    registry.set_gauge("train.train_acc", 0.75)
+    registry.observe_many("train.epoch_time_s", [0.1, 0.2, 0.3, 0.4, 0.5,
+                                                 0.6, 0.7])
+    return registry
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    with span("stage.update", nbytes=64, tracer=tracer):
+        with span("stage.similarity", tracer=tracer):
+            pass
+    return tracer
+
+
+class TestSanitize:
+    def test_dots_to_underscores_with_prefix(self):
+        assert (sanitize_metric_name("guard.nan_batches")
+                == "repro_guard_nan_batches")
+
+    def test_invalid_chars_replaced(self):
+        assert sanitize_metric_name("a-b c.d", prefix="") == "a_b_c_d"
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        count = export_jsonl(path, registry=make_registry(),
+                             tracer=make_tracer(),
+                             meta={"run": "test"})
+        events = read_jsonl(path)
+        assert len(events) == count
+        assert events[0]["type"] == "meta"
+        assert events[0]["run"] == "test"
+        by_type = {}
+        for event in events:
+            by_type.setdefault(event["type"], []).append(event)
+        names = {e["name"] for e in by_type["metric"]}
+        assert {"guard.nan_batches", "train.train_acc",
+                "train.epoch_time_s"} <= names
+        counter = next(e for e in by_type["metric"]
+                       if e["name"] == "guard.nan_batches")
+        assert counter["metric_type"] == "counter"
+        assert counter["value"] == 3.0
+        span_paths = {e["path"] for e in by_type["span"]}
+        assert "stage.update/stage.similarity" in span_paths
+
+    def test_non_finite_becomes_null(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("empty")  # all-NaN summary
+        path = str(tmp_path / "nan.jsonl")
+        export_jsonl(path, registry=registry, tracer=Tracer())
+        events = read_jsonl(path)
+        metric = next(e for e in events if e["type"] == "metric")
+        assert metric["mean"] is None  # NaN does not leak into JSON
+
+    def test_bad_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl(str(path))
+
+    def test_profiler_events_included(self, tmp_path):
+        from repro.nn import Tensor
+        with Profiler() as prof:
+            a = Tensor(np.ones((4, 4)))
+            _ = a + a
+        events = collect_events(registry=MetricsRegistry(), tracer=Tracer(),
+                                profiler=prof)
+        assert any(e["type"] == "op" and e["name"] == "add" for e in events)
+
+
+class TestPrometheus:
+    def test_round_trip(self, tmp_path):
+        registry = make_registry()
+        path = str(tmp_path / "metrics.prom")
+        text = export_prometheus(path, registry=registry)
+        assert open(path).read() == text
+        parsed = parse_prometheus(text)
+        counter = parsed["repro_guard_nan_batches"]
+        assert counter["type"] == "counter"
+        assert counter["samples"][""] == 3.0
+        gauge = parsed["repro_train_train_acc"]
+        assert gauge["samples"][""] == pytest.approx(0.75)
+        hist = parsed["repro_train_epoch_time_s"]
+        assert hist["type"] == "summary"
+        assert hist["samples"]["count"] == 7.0
+        assert hist["samples"]["sum"] == pytest.approx(2.8)
+        assert 'quantile="0.5"' in hist["samples"]
+
+    def test_empty_registry_empty_text(self):
+        assert prometheus_text(registry=MetricsRegistry()) == ""
+
+    def test_unparseable_sample_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("!! not a sample line")
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["bb", 20.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| name")
+        assert "20.5000" in table
+
+    def test_format_table_nan_cell(self):
+        table = format_table(["x"], [[math.nan]])
+        assert "-" in table
+
+    def test_stage_breakdown_rolls_up_non_stage_children(self):
+        tracer = Tracer()
+        with span("stage.encode", tracer=tracer):
+            # Helper span nested inside the stage must not hollow out the
+            # stage's share (it is not a stage itself).
+            with span("hd.encode.RandomProjectionEncoder", tracer=tracer):
+                pass
+        with span("stage.update", tracer=tracer):
+            with span("stage.similarity", tracer=tracer):
+                pass
+        rows = {row["stage"]: row for row in stage_breakdown(tracer)}
+        assert set(rows) == {"encode", "update", "similarity"}
+        encode = rows["encode"]
+        # Stage-relative self time keeps the helper span's time.
+        assert encode["self_s"] == pytest.approx(encode["total_s"])
+        update = rows["update"]
+        assert update["self_s"] <= update["total_s"]
+        assert sum(r["share"] for r in rows.values()) == pytest.approx(1.0)
+
+    def test_stage_breakdown_order(self):
+        tracer = Tracer()
+        for name in ("stage.update", "stage.extract", "stage.zzz"):
+            with span(name, tracer=tracer):
+                pass
+        order = [row["stage"] for row in stage_breakdown(tracer)]
+        assert order == ["extract", "update", "zzz"]
+
+    def test_render_report_sections(self):
+        report = render_report(registry=make_registry(),
+                               tracer=make_tracer(),
+                               title="Unit test report")
+        assert "# Unit test report" in report
+        assert "## Stage-level time breakdown" in report
+        assert "## Metrics" in report
+        assert "## Span tree" in report
+        assert "stage.similarity" in report
+
+    def test_render_report_with_profiler(self):
+        from repro.nn import Tensor
+        with Profiler() as prof:
+            a = Tensor(np.ones((8, 8)))
+            _ = a @ a
+        report = render_report(registry=MetricsRegistry(), tracer=Tracer(),
+                               profiler=prof)
+        assert "hottest autograd ops" in report
+        assert "matmul" in report

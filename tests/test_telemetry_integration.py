@@ -1,0 +1,181 @@
+"""Integration: the instrumented trainers/pipelines emit the expected
+telemetry, callbacks drive checkpointing/early-stop, guards count events."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (CheckpointCallback, EarlyStopping, MassTrainer,
+                         TelemetryCallback, TrainerCallback, VanillaHD)
+from repro.reliability import NumericsGuard
+from repro.telemetry import Tracer, get_tracer, set_tracer, use_registry
+
+
+@pytest.fixture()
+def fresh_tracer():
+    previous = set_tracer(Tracer())
+    yield get_tracer()
+    set_tracer(previous)
+
+
+def make_hv_problem(n=120, dim=128, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    prototypes = np.sign(rng.standard_normal((classes, dim)))
+    labels = rng.integers(0, classes, n)
+    noise = np.where(rng.random((n, dim)) < 0.2, -1.0, 1.0)
+    return prototypes[labels] * noise, labels
+
+
+class TestTrainerTelemetry:
+    def test_expected_metric_names_published(self, fresh_tracer):
+        hvs, labels = make_hv_problem()
+        with use_registry() as registry:
+            trainer = MassTrainer(4, 128)
+            history = trainer.fit(hvs, labels, epochs=2, batch_size=32,
+                                  rng=np.random.default_rng(1),
+                                  callbacks=[TelemetryCallback()])
+            snapshot = registry.snapshot()
+        for name in ("train.batches", "train.samples", "train.epochs",
+                     "train.epoch", "train.train_acc",
+                     "train.similarity_margin", "train.update_norm",
+                     "train.epoch_time_s"):
+            assert name in snapshot, name
+        assert snapshot["train.epochs"]["value"] == 2.0
+        assert snapshot["train.batches"]["value"] == 2 * 4  # 120/32 → 4
+        assert snapshot["train.similarity_margin"]["count"] > 0
+        # Satellite: per-epoch timing lands in the history dict.
+        assert len(history["epoch_time"]) == 2
+        assert all(t >= 0.0 for t in history["epoch_time"])
+
+    def test_stage_spans_recorded(self, fresh_tracer):
+        hvs, labels = make_hv_problem()
+        with use_registry():
+            MassTrainer(4, 128).fit(hvs, labels, epochs=1, batch_size=32,
+                                    rng=np.random.default_rng(1))
+        agg = fresh_tracer.aggregate()
+        assert "stage.update" in agg
+        assert "stage.similarity" in agg
+        assert agg["stage.update"]["calls"] == 4
+
+    def test_callback_hooks_fire_in_order(self, fresh_tracer):
+        events = []
+
+        class Recorder(TrainerCallback):
+            def on_fit_start(self, trainer, total_epochs):
+                events.append(("start", total_epochs))
+
+            def on_epoch_end(self, epoch, metrics):
+                events.append(("epoch", epoch, metrics["train_acc"]))
+                assert metrics["history"]["train_acc"]
+                assert metrics["epoch_time_s"] >= 0.0
+
+            def on_fit_end(self, history):
+                events.append(("end", len(history["train_acc"])))
+
+        hvs, labels = make_hv_problem()
+        with use_registry():
+            MassTrainer(4, 128).fit(hvs, labels, epochs=2, batch_size=64,
+                                    rng=np.random.default_rng(0),
+                                    callbacks=[Recorder()])
+        assert events[0] == ("start", 2)
+        assert [e[0] for e in events] == ["start", "epoch", "epoch", "end"]
+        assert events[-1] == ("end", 2)
+
+    def test_early_stopping_halts_training(self, fresh_tracer):
+        hvs, labels = make_hv_problem()
+        with use_registry():
+            trainer = MassTrainer(4, 128, lr=0.0)  # lr=0 → no improvement
+            history = trainer.fit(hvs, labels, epochs=10, batch_size=64,
+                                  rng=np.random.default_rng(0),
+                                  callbacks=[EarlyStopping(patience=2)])
+        assert len(history["train_acc"]) < 10
+
+    def test_legacy_epoch_callback_still_invoked(self, fresh_tracer):
+        seen = []
+        hvs, labels = make_hv_problem()
+        with use_registry():
+            MassTrainer(4, 128).fit(
+                hvs, labels, epochs=2, batch_size=64,
+                rng=np.random.default_rng(0),
+                epoch_callback=lambda epoch, hist: seen.append(epoch))
+        assert seen == [0, 1]
+
+
+class TestGuardTelemetry:
+    def test_guard_events_increment_counters(self, fresh_tracer):
+        hvs, labels = make_hv_problem(n=64)
+        poisoned = hvs.copy()
+        poisoned[:8] = np.nan
+        with use_registry() as registry:
+            guard = NumericsGuard(policy="skip_batch")
+            trainer = MassTrainer(4, 128, guard=guard)
+            trainer.initialize(hvs, labels)
+            assert trainer.step(poisoned, labels) is False
+            assert trainer.step(hvs, labels) is True
+            snapshot = registry.snapshot()
+        assert snapshot["guard.nan_batches"]["value"] >= 1.0
+        assert snapshot["guard.skipped_batches"]["value"] == 1.0
+        assert snapshot["guard.violations"]["value"] == 1.0
+        assert snapshot["train.skipped_batches"]["value"] == 1.0
+        assert guard.batches_skipped == 1
+
+    def test_overflow_counter(self, fresh_tracer):
+        with use_registry() as registry:
+            guard = NumericsGuard(policy="skip_batch", max_abs=10.0)
+            assert guard.ok("tag", np.array([1e6])) is False
+            assert registry.snapshot()["guard.overflow_batches"]["value"] == 1
+
+
+class TestPipelineTelemetry:
+    def test_vanilla_hd_emits_encode_metrics_and_history(self, fresh_tracer,
+                                                         tmp_path):
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(60, 3, 8, 8))
+        labels = rng.integers(0, 3, 60)
+        with use_registry() as registry:
+            pipeline = VanillaHD(num_classes=3, image_size=8, dim=256,
+                                 seed=0)
+            ckpt = str(tmp_path / "vanilla.ckpt")
+            history = pipeline.fit(images, labels, epochs=3, batch_size=32,
+                                   checkpoint_path=ckpt)
+            snapshot = registry.snapshot()
+        assert snapshot["hd.encode.samples"]["value"] >= 60
+        assert snapshot["hd.encode.macs"]["value"] > 0
+        assert "train.similarity_margin" in snapshot
+        # Satellite: the pipeline history carries per-epoch timings and
+        # the checkpoint (written via CheckpointCallback) persists them.
+        assert len(history["epoch_time"]) == 3
+        completed, saved = pipeline.load_checkpoint(ckpt)
+        assert completed == 3
+        assert saved["train_acc"] == pytest.approx(history["train_acc"])
+        assert len(saved["epoch_time"]) == 3
+
+    def test_checkpoint_callback_merges_prefix_history(self, tmp_path):
+        class FakePipeline:
+            def __init__(self):
+                self.saved = []
+
+            def save_checkpoint(self, path, epoch, history):
+                self.saved.append((path, epoch, history))
+
+        pipeline = FakePipeline()
+        callback = CheckpointCallback(
+            pipeline, "x.ckpt", every=2, total_epochs=3,
+            history_prefix={"train_acc": [0.1]})
+        history = {"train_acc": [0.2], "epoch_time": [0.01]}
+        callback.on_epoch_end(0, {"history": history})  # 1 % 2 → skipped
+        assert pipeline.saved == []
+        history["train_acc"].append(0.3)
+        history["epoch_time"].append(0.02)
+        callback.on_epoch_end(1, {"history": history})
+        assert len(pipeline.saved) == 1
+        _, epoch, merged = pipeline.saved[0]
+        assert epoch == 2
+        assert merged["train_acc"] == [0.1, 0.2, 0.3]
+        assert merged["epoch_time"] == [0.01, 0.02]
+        # Final epoch always checkpoints even off the `every` grid.
+        callback.on_epoch_end(2, {"history": history})
+        assert pipeline.saved[-1][1] == 3
+
+    def test_checkpoint_callback_validates_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointCallback(object(), "x", every=0)

@@ -1,0 +1,187 @@
+"""Metrics registry: counters, gauges, P² streaming quantiles."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (DEFAULT_QUANTILES, Counter, Gauge, Histogram,
+                             MetricsRegistry, P2Quantile, get_registry,
+                             use_registry)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1.0)
+
+    def test_counter_reset(self):
+        counter = Counter("c")
+        counter.inc(5)
+        counter.reset()
+        assert counter.value == 0.0
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(5.0)
+        assert gauge.value == pytest.approx(7.0)
+
+    def test_counter_thread_safety(self):
+        counter = Counter("c")
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestP2Quantile:
+    def test_small_stream_is_exact(self):
+        est = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            est.observe(x)
+        assert est.value() == pytest.approx(2.0)
+        assert est.count == 3
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value())
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    def test_uniform_stream_accuracy(self, q):
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(0.0, 1.0, size=5000)
+        est = P2Quantile(q)
+        for x in samples:
+            est.observe(x)
+        # For U(0,1) the value error equals the rank error; P² should be
+        # within a few percent of rank on a smooth distribution.
+        assert est.value() == pytest.approx(q, abs=0.04)
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.sampled_from([0.5, 0.95]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_rank_accuracy_vs_numpy(self, seed, q):
+        """The P² estimate lands at approximately quantile rank q."""
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(size=800) * rng.uniform(0.5, 10.0)
+        est = P2Quantile(q)
+        for x in samples:
+            est.observe(x)
+        rank = float((samples <= est.value()).mean())
+        assert abs(rank - q) < 0.08
+        # And it stays within the sample's support.
+        assert samples.min() <= est.value() <= samples.max()
+
+
+class TestHistogram:
+    def test_summary_keys(self):
+        hist = Histogram("h")
+        hist.observe_many([1.0, 2.0, 3.0, 4.0])
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(10.0)
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        for q in DEFAULT_QUANTILES:
+            assert f"p{q * 100:g}" in summary
+
+    def test_non_finite_samples_skipped(self):
+        hist = Histogram("h")
+        hist.observe(float("nan"))
+        hist.observe(float("inf"))
+        hist.observe(1.0)
+        assert hist.count == 1
+        assert hist.summary()["max"] == 1.0
+
+    def test_quantile_accuracy_vs_numpy(self):
+        rng = np.random.default_rng(3)
+        samples = np.abs(rng.normal(size=3000))  # timing-like, skewed
+        hist = Histogram("h")
+        hist.observe_many(samples)
+        for q in (0.5, 0.95):
+            exact = float(np.quantile(samples, q))
+            rank = float((samples <= hist.quantile(q)).mean())
+            assert abs(rank - q) < 0.05, (q, exact, hist.quantile(q))
+
+    def test_untracked_quantile_raises(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(KeyError):
+            hist.quantile(0.25)
+
+    def test_reset(self):
+        hist = Histogram("h")
+        hist.observe_many(range(10))
+        hist.reset()
+        assert hist.count == 0
+        assert math.isnan(hist.mean)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_convenience_helpers(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 4.0)
+        registry.observe("h", 1.0)
+        registry.observe_many("h", [2.0, 3.0])
+        snap = registry.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 2.0}
+        assert snap["g"]["value"] == 4.0
+        assert snap["h"]["count"] == 3
+
+    def test_snapshot_sorted_and_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        assert list(registry.snapshot()) == ["a", "z"]
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.inc("x.y")
+        assert "x.y" in registry
+        assert "nope" not in registry
+        assert registry.names() == ["x.y"]
+
+    def test_use_registry_scopes_the_global(self):
+        before = get_registry()
+        with use_registry() as scoped:
+            assert get_registry() is scoped
+            get_registry().inc("scoped.only")
+        assert get_registry() is before
+        assert "scoped.only" not in get_registry()

@@ -1,0 +1,154 @@
+"""Tracing spans: tree structure, self time, reentrancy, threads."""
+
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import SpanNode, Tracer, span
+
+
+def sleep_span(tracer, name, seconds=0.0):
+    with span(name, tracer=tracer):
+        if seconds:
+            time.sleep(seconds)
+
+
+class TestSpanTree:
+    def test_nesting_builds_tree(self):
+        tracer = Tracer()
+        with span("outer", tracer=tracer):
+            with span("inner", tracer=tracer):
+                pass
+            with span("inner", tracer=tracer):
+                pass
+        outer = tracer.root.children["outer"]
+        assert outer.calls == 1
+        inner = outer.children["inner"]
+        assert inner.calls == 2
+        assert inner.path == "outer/inner"
+
+    def test_self_time_excludes_children(self):
+        tracer = Tracer()
+        with span("outer", tracer=tracer):
+            time.sleep(0.01)
+            with span("inner", tracer=tracer):
+                time.sleep(0.02)
+        outer = tracer.root.children["outer"]
+        inner = outer.children["inner"]
+        assert outer.total_s >= inner.total_s
+        assert outer.self_s == pytest.approx(
+            outer.total_s - inner.total_s)
+        assert outer.self_s >= 0.0
+
+    def test_reentrant_same_name_nests(self):
+        tracer = Tracer()
+        with span("stage.update", tracer=tracer):
+            with span("stage.update", tracer=tracer):
+                pass
+        top = tracer.root.children["stage.update"]
+        assert top.calls == 1
+        assert top.children["stage.update"].calls == 1
+
+    def test_bytes_accounting(self):
+        tracer = Tracer()
+        with span("io", nbytes=100, tracer=tracer) as s:
+            s.add_bytes(50)
+        assert tracer.root.children["io"].bytes == 150
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with span("boom", tracer=tracer):
+                raise RuntimeError("x")
+        node = tracer.root.children["boom"]
+        assert node.calls == 1
+        # The stack popped back to the root.
+        assert tracer.current() is tracer.root
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        with span("nothing", tracer=tracer):
+            pass
+        assert tracer.root.children == {}
+
+    def test_reset_drops_tree(self):
+        tracer = Tracer()
+        sleep_span(tracer, "a")
+        tracer.reset()
+        assert tracer.root.children == {}
+
+
+class TestAggregation:
+    def test_aggregate_collapses_by_name(self):
+        tracer = Tracer()
+        with span("stage.update", tracer=tracer):
+            sleep_span(tracer, "stage.similarity")
+        sleep_span(tracer, "stage.similarity")
+        agg = tracer.aggregate()
+        assert agg["stage.similarity"]["calls"] == 2
+        assert agg["stage.update"]["calls"] == 1
+        # Self times of disjoint positions sum to at most the wall total.
+        total = sum(entry["self_s"] for entry in agg.values())
+        root_total = sum(c.total_s for c in tracer.root.children.values())
+        assert total <= root_total + 1e-9
+
+    def test_to_events_paths_sorted(self):
+        tracer = Tracer()
+        with span("b", tracer=tracer):
+            sleep_span(tracer, "a")
+        sleep_span(tracer, "a")
+        events = tracer.to_events()
+        paths = [e["path"] for e in events]
+        assert paths == sorted(paths)
+        assert {"a", "b", "b/a"} == set(paths)
+        assert all(e["type"] == "span" for e in events)
+
+    def test_render_mentions_spans(self):
+        tracer = Tracer()
+        sleep_span(tracer, "stage.encode")
+        text = tracer.render()
+        assert "stage.encode" in text
+
+    def test_render_empty(self):
+        assert "(no spans recorded)" in Tracer().render()
+
+
+class TestThreading:
+    def test_worker_threads_get_own_stacks(self):
+        tracer = Tracer()
+        errors = []
+
+        def worker(tag):
+            try:
+                for _ in range(50):
+                    with span(f"worker.{tag}", tracer=tracer):
+                        with span("inner", tracer=tracer):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i % 2,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Both worker span names sit directly under the shared root, each
+        # with its own nested child — no cross-thread interleaving.
+        assert set(tracer.root.children) == {"worker.0", "worker.1"}
+        for name, node in tracer.root.children.items():
+            assert node.calls == 100
+            assert node.children["inner"].calls == 100
+
+    def test_span_node_repr_and_dict(self):
+        root = SpanNode("<root>")
+        node = root.child("x")
+        node.calls = 1
+        node.total_s = 0.5
+        data = node.as_dict()
+        assert data["name"] == "x"
+        assert data["children"] == []
+        assert "x" in repr(node)
+        assert "<root>" in repr(root)
