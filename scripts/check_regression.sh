@@ -1,0 +1,42 @@
+#!/bin/bash
+# Tier-2 perf-regression gate: run the smoke pipelines through
+# scripts/bench_gate.py against the committed run ledger under
+# results/ledger/.  Behaviour:
+#   * first run on a fresh checkout (no / short ledger history)
+#     bootstraps the baseline and PASSES;
+#   * with >= 3 comparable runs in the ledger, a stage time, accuracy or
+#     wall-clock outside the rolling median+MAD tolerance band FAILS
+#     (nonzero exit), printing the markdown comparison report;
+#   * a BENCH_<shortsha>.json trajectory file is (re)written at the repo
+#     root and a ledger entry is appended for this commit.
+# A self-check then verifies the gate's teeth: with an established
+# baseline, a synthetic 3x slowdown injected into one stage must FAIL.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== regression gate: smoke pipelines vs results/ledger =="
+python scripts/bench_gate.py
+
+# Teeth check: only meaningful once the baseline is established (>= 3
+# runs of the nshd smoke config in the ledger).
+echo
+echo "== gate self-check: injected 3x extract slowdown must fail =="
+history="$(python - <<'EOF'
+from repro.telemetry.ledger import RunLedger
+print(len(RunLedger().query(pipeline="nshd")))
+EOF
+)"
+if [ "$history" -ge 3 ]; then
+    if python scripts/bench_gate.py --pipelines nshd \
+            --inject-slowdown extract:3.0 > /dev/null 2>&1; then
+        echo "ERROR: injected 3x slowdown passed the gate" >&2
+        exit 1
+    fi
+    echo "injected slowdown correctly rejected"
+else
+    echo "skipped (ledger has $history nshd runs; need >= 3)"
+fi
+
+echo
+echo "regression checks passed"

@@ -42,10 +42,22 @@ EOF
 echo
 echo "== dormant-profiler overhead: wrapped ops vs originals (< 5%) =="
 python - <<'EOF'
+from statistics import median
+
 from repro.telemetry import disabled_overhead_ratio
-ratio = min(disabled_overhead_ratio() for _ in range(3))
-print(f"disabled-profiler overhead ratio: {ratio:.4f}")
-assert ratio < 1.05, f"dormant profiling hooks cost {100 * (ratio - 1):.1f}% > 5%"
+
+# Warmup: populate caches / JIT the hot loops so the first timed run is
+# not polluted by one-time costs, then gate on the *median* of 3 runs —
+# a single min-of-runs sample was flaky under scheduler noise.
+disabled_overhead_ratio(iters=20, repeats=2)
+ratios = [disabled_overhead_ratio() for _ in range(3)]
+ratio = median(ratios)
+print("disabled-profiler overhead ratios: "
+      + ", ".join(f"{r:.4f}" for r in ratios)
+      + f" -> median {ratio:.4f}")
+assert ratio < 1.05, (
+    f"dormant profiling hooks cost {100 * (ratio - 1):.2f}% > 5% "
+    f"(median of runs {[f'{r:.4f}' for r in ratios]})")
 EOF
 
 echo

@@ -7,5 +7,10 @@ pip install -e . --no-build-isolation 2>/dev/null || python setup.py develop
 python scripts/pretrain_teachers.py
 python scripts/warm_features.py
 pytest tests/ 2>&1 | tee test_output.txt
+# Benchmark invocations append per-benchmark ledger entries via
+# benchmarks/conftest.py (results/ledger/benchmarks.jsonl).
 pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
-echo "Results tables are under results/"
+# Perf-regression gate: smoke pipelines vs the committed run ledger
+# (bootstraps and passes on first run; see scripts/check_regression.sh).
+bash scripts/check_regression.sh
+echo "Results tables are under results/, run ledger under results/ledger/"

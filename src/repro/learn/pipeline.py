@@ -221,7 +221,8 @@ class _HDPipeline:
             batch_size: int, start_epoch: int,
             saved_history: Optional[Dict[str, List[float]]],
             checkpoint_path: Optional[str], checkpoint_every: int,
-            extra_per_sample: Optional[Dict[str, np.ndarray]] = None
+            extra_per_sample: Optional[Dict[str, np.ndarray]] = None,
+            callbacks: Optional[List] = None
     ) -> Dict[str, List[float]]:
         """Run ``trainer.fit`` with per-epoch atomic checkpoint writes.
 
@@ -229,9 +230,11 @@ class _HDPipeline:
         .CheckpointCallback` hook (the ad-hoc ``epoch_callback`` closure
         this used to build is gone); the callback also merges the history
         restored from a previous checkpoint into every write so the
-        persisted history stays complete across resumes.
+        persisted history stays complete across resumes.  Caller-supplied
+        ``callbacks`` (telemetry, HD diagnostics, early stopping) run
+        before the checkpoint callback each epoch.
         """
-        callbacks = []
+        callbacks = list(callbacks or [])
         checkpoint_cb = None
         if checkpoint_path:
             checkpoint_cb = CheckpointCallback(
@@ -339,8 +342,8 @@ class NSHD(_HDPipeline):
 
     # ------------------------------------------------------------------
     def fit(self, images: np.ndarray, labels: np.ndarray, epochs: int = 20,
-            batch_size: int = 64, verbose: bool = False
-            ) -> Dict[str, List[float]]:
+            batch_size: int = 64, verbose: bool = False,
+            callbacks: Optional[List] = None) -> Dict[str, List[float]]:
         """Train class hypervectors (and the manifold FC) jointly.
 
         The frozen CNN runs exactly once per image: features and teacher
@@ -353,7 +356,7 @@ class NSHD(_HDPipeline):
                               if self.use_distillation else None)
         return self.fit_features(raw_features, labels, teacher_logits,
                                  epochs=epochs, batch_size=batch_size,
-                                 verbose=verbose)
+                                 verbose=verbose, callbacks=callbacks)
 
     def fit_features(self, raw_features: np.ndarray, labels: np.ndarray,
                      teacher_logits: Optional[np.ndarray] = None,
@@ -362,7 +365,9 @@ class NSHD(_HDPipeline):
                      verbose: bool = False,
                      checkpoint_path: Optional[str] = None,
                      checkpoint_every: int = 1,
-                     resume: bool = False) -> Dict[str, List[float]]:
+                     resume: bool = False,
+                     callbacks: Optional[List] = None
+                     ) -> Dict[str, List[float]]:
         """Like :meth:`fit` but on precomputed extractor features.
 
         Lets callers (benchmarks, multi-system comparisons) run the frozen
@@ -377,10 +382,17 @@ class NSHD(_HDPipeline):
         checkpoint is restored first and training continues from the next
         epoch — a run killed mid-way and resumed this way produces the
         *bit-identical* final model of an uninterrupted run.
+
+        ``callbacks`` follow the :class:`repro.learn.callbacks
+        .TrainerCallback` protocol (``on_fit_start`` receives the inner
+        HD trainer so e.g. :class:`repro.telemetry.DiagnosticsCallback`
+        can watch ``class_matrix``); ``should_stop()`` ends training
+        early, mirroring :meth:`MassTrainer.fit`.
         """
         labels = np.asarray(labels)
         if self.use_distillation and teacher_logits is None:
             raise ValueError("distillation requires teacher_logits")
+        callbacks = list(callbacks or [])
 
         start_epoch, saved_history = self._maybe_resume(checkpoint_path,
                                                         resume)
@@ -407,6 +419,8 @@ class NSHD(_HDPipeline):
             "epoch_time": list((saved_history or {}).get("epoch_time", [])),
         }
         registry = get_registry()
+        for callback in callbacks:
+            callback.on_fit_start(self.trainer, epochs)
         for epoch in range(start_epoch, epochs):
             epoch_start = clock()
             # Fresh permutation per epoch: the ordering is a pure function
@@ -449,12 +463,21 @@ class NSHD(_HDPipeline):
             registry.set_gauge("train.epoch", float(epoch))
             registry.set_gauge("train.train_acc", train_acc)
             registry.observe("train.epoch_time_s", epoch_time)
+            metrics = {"epoch": epoch, "train_acc": train_acc,
+                       "manifold_loss": history["manifold_loss"][-1],
+                       "epoch_time_s": epoch_time, "history": history}
+            for callback in callbacks:
+                callback.on_epoch_end(epoch, metrics)
             if checkpoint_path and ((epoch + 1) % checkpoint_every == 0
                                     or epoch + 1 == epochs):
                 self.save_checkpoint(checkpoint_path, epoch + 1, history)
             if verbose:
                 print(f"NSHD epoch {len(history['train_acc'])}: "
                       f"train_acc={history['train_acc'][-1]:.3f}")
+            if any(callback.should_stop() for callback in callbacks):
+                break
+        for callback in callbacks:
+            callback.on_fit_end(history)
         return history
 
 
@@ -492,22 +515,26 @@ class BaselineHD(_HDPipeline):
 
     def fit(self, images: np.ndarray, labels: np.ndarray, epochs: int = 20,
             batch_size: int = 64, checkpoint_path: Optional[str] = None,
-            checkpoint_every: int = 1,
-            resume: bool = False) -> Dict[str, List[float]]:
-        return self.fit_features(self.extractor.extract(images), labels,
+            checkpoint_every: int = 1, resume: bool = False,
+            callbacks: Optional[List] = None) -> Dict[str, List[float]]:
+        with span("stage.extract", nbytes=int(np.asarray(images).nbytes)):
+            raw_features = self.extractor.extract(images)
+        return self.fit_features(raw_features, labels,
                                  epochs=epochs, batch_size=batch_size,
                                  checkpoint_path=checkpoint_path,
                                  checkpoint_every=checkpoint_every,
-                                 resume=resume)
+                                 resume=resume, callbacks=callbacks)
 
     def fit_features(self, raw_features: np.ndarray, labels: np.ndarray,
                      epochs: int = 20, batch_size: int = 64,
                      checkpoint_path: Optional[str] = None,
-                     checkpoint_every: int = 1,
-                     resume: bool = False) -> Dict[str, List[float]]:
+                     checkpoint_every: int = 1, resume: bool = False,
+                     callbacks: Optional[List] = None
+                     ) -> Dict[str, List[float]]:
         """Like :meth:`fit` but on precomputed extractor features.
 
-        Checkpoint/resume semantics match :meth:`NSHD.fit_features`.
+        Checkpoint/resume and callback semantics match
+        :meth:`NSHD.fit_features`.
         """
         labels = np.asarray(labels)
         start_epoch, saved_history = self._maybe_resume(checkpoint_path,
@@ -516,10 +543,11 @@ class BaselineHD(_HDPipeline):
             scaled = self.scaler.transform(raw_features)
         else:
             scaled = self.scaler.fit_transform(raw_features)
-        encoded = self.encoder.encode(scaled)
+        with span("stage.encode", nbytes=int(np.asarray(scaled).nbytes)):
+            encoded = self.encoder.encode(scaled)
         return self._trainer_fit_checkpointed(
             encoded, labels, epochs, batch_size, start_epoch, saved_history,
-            checkpoint_path, checkpoint_every)
+            checkpoint_path, checkpoint_every, callbacks=callbacks)
 
 
 class VanillaHD(_HDPipeline):
@@ -547,8 +575,8 @@ class VanillaHD(_HDPipeline):
 
     def fit(self, images: np.ndarray, labels: np.ndarray, epochs: int = 20,
             batch_size: int = 64, checkpoint_path: Optional[str] = None,
-            checkpoint_every: int = 1,
-            resume: bool = False) -> Dict[str, List[float]]:
+            checkpoint_every: int = 1, resume: bool = False,
+            callbacks: Optional[List] = None) -> Dict[str, List[float]]:
         labels = np.asarray(labels)
         flat = np.asarray(images).reshape(len(images), -1)
         start_epoch, saved_history = self._maybe_resume(checkpoint_path,
@@ -557,7 +585,8 @@ class VanillaHD(_HDPipeline):
             features = self.scaler.transform(flat)
         else:
             features = self.scaler.fit_transform(flat)
-        encoded = self.encoder.encode(features)
+        with span("stage.encode", nbytes=int(np.asarray(features).nbytes)):
+            encoded = self.encoder.encode(features)
         return self._trainer_fit_checkpointed(
             encoded, labels, epochs, batch_size, start_epoch, saved_history,
-            checkpoint_path, checkpoint_every)
+            checkpoint_path, checkpoint_every, callbacks=callbacks)

@@ -13,29 +13,57 @@ beyond numpy + stdlib, importable from every other layer):
   autograd engine for per-op / per-layer forward+backward time and
   FLOP/MAC estimates; near-zero overhead while disabled.
 * :mod:`~repro.telemetry.exporters` — JSONL event log and
-  Prometheus-style text exposition (plus parsers for round-tripping).
+  Prometheus-style text exposition (plus parsers for round-tripping;
+  NaN/±Inf survive both directions losslessly).
 * :mod:`~repro.telemetry.report` — rendered console/markdown run report
   with the extract → manifold → encode → similarity → update stage
   breakdown and the top-k hottest ops.
+* :mod:`~repro.telemetry.ledger` — *persistent* run records: a
+  :class:`RunRecord` (git SHA, config fingerprint, env/BLAS info, seed,
+  per-stage wall time, accuracies, guard counters, HD diagnostics)
+  appended atomically to a JSONL :class:`RunLedger` under
+  ``results/ledger/``, with query/diff APIs.
+* :mod:`~repro.telemetry.regress` — rolling-baseline (median + MAD)
+  perf/accuracy regression detection over the ledger, with a markdown
+  comparison report (``scripts/bench_gate.py`` is the CLI gate).
+* :mod:`~repro.telemetry.diagnostics` — per-epoch HD model
+  introspection (class-hypervector drift, bipolar saturation fraction,
+  class-confusability matrix, similarity-margin quantiles) via
+  :class:`DiagnosticsCallback` riding the trainer-callback protocol.
 
 Quickstart::
 
     from repro import telemetry
 
+    diag = telemetry.DiagnosticsCallback()
     with telemetry.Profiler() as prof:
-        nshd.fit(x_train, y_train, epochs=5)
+        nshd.fit(x_train, y_train, epochs=5, callbacks=[diag])
     print(telemetry.render_report(profiler=prof))
     telemetry.export_jsonl("run.jsonl", profiler=prof)
+    record = telemetry.RunRecord.capture(
+        "nshd", config={"dim": 3000}, diagnostics=diag.summary())
+    telemetry.RunLedger().append(record)
 """
 
-from .exporters import (collect_events, export_jsonl, export_prometheus,
+from .diagnostics import (DiagnosticsCallback, class_drift,
+                          confusability_matrix, confusability_summary,
+                          margin_quantiles, saturation_fraction)
+from .exporters import (NONFINITE_KEY, collect_events, decode_non_finite,
+                        encode_non_finite, export_jsonl, export_prometheus,
                         parse_prometheus, prometheus_text, read_jsonl,
                         sanitize_metric_name)
+from .ledger import (DEFAULT_LEDGER_DIR, LEDGER_SCHEMA_VERSION, RunLedger,
+                     RunRecord, config_fingerprint, diff_records,
+                     diff_report, env_fingerprint, git_info)
 from .metrics import (DEFAULT_QUANTILES, Counter, Gauge, Histogram,
                       MetricsRegistry, P2Quantile, get_registry,
                       set_registry, use_registry)
 from .profiler import (LayerStat, OpStat, Profiler, disabled_overhead_ratio,
                        get_active_profiler)
+from .regress import (DEFAULT_ACCURACY_SPEC, DEFAULT_STAGE_SPEC,
+                      DEFAULT_WALL_SPEC, CheckResult, GateReport, GateSpec,
+                      check_series, gate_run, mad, rolling_baseline,
+                      tolerance, with_threshold)
 from .report import format_table, render_report, stage_breakdown
 from .tracing import (SpanNode, Tracer, add_bytes, clock, current_span,
                       get_tracer, set_tracer, span)
@@ -53,6 +81,18 @@ __all__ = [
     # exporters
     "collect_events", "export_jsonl", "read_jsonl", "prometheus_text",
     "export_prometheus", "parse_prometheus", "sanitize_metric_name",
+    "encode_non_finite", "decode_non_finite", "NONFINITE_KEY",
     # report
     "format_table", "render_report", "stage_breakdown",
+    # ledger
+    "RunRecord", "RunLedger", "LEDGER_SCHEMA_VERSION",
+    "DEFAULT_LEDGER_DIR", "git_info", "env_fingerprint",
+    "config_fingerprint", "diff_records", "diff_report",
+    # regress
+    "GateSpec", "CheckResult", "GateReport", "mad", "rolling_baseline",
+    "tolerance", "check_series", "gate_run", "with_threshold",
+    "DEFAULT_STAGE_SPEC", "DEFAULT_ACCURACY_SPEC", "DEFAULT_WALL_SPEC",
+    # diagnostics
+    "DiagnosticsCallback", "class_drift", "saturation_fraction",
+    "confusability_matrix", "confusability_summary", "margin_quantiles",
 ]

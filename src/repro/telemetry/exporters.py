@@ -11,6 +11,12 @@ and downstream analysis:
   histograms as Prometheus *summaries* (``name{quantile="0.5"} …`` +
   ``name_sum`` / ``name_count``).  Dotted metric names become
   underscore-separated and get a ``repro_`` prefix.
+
+Both sinks round-trip **non-finite** values losslessly: strict JSON has
+no NaN/±Inf literal, so :func:`encode_non_finite` maps them to a tagged
+object (``{"__nonfinite__": "nan"}``) that :func:`decode_non_finite`
+restores; the Prometheus text format has native ``NaN`` / ``+Inf`` /
+``-Inf`` sample values, which are emitted and parsed verbatim.
 """
 
 from __future__ import annotations
@@ -26,9 +32,15 @@ from .tracing import Tracer, get_tracer
 
 __all__ = ["collect_events", "export_jsonl", "read_jsonl",
            "prometheus_text", "export_prometheus", "parse_prometheus",
-           "sanitize_metric_name"]
+           "sanitize_metric_name", "encode_non_finite", "decode_non_finite",
+           "NONFINITE_KEY"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Tag key used to encode NaN/±Inf floats in strict-JSON documents.
+NONFINITE_KEY = "__nonfinite__"
+
+_NONFINITE_ENCODE = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
 
 
 def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
@@ -37,12 +49,44 @@ def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
     return f"{prefix}_{cleaned}" if prefix else cleaned
 
 
-def _finite(value: float) -> Optional[float]:
-    try:
-        value = float(value)
-    except (TypeError, ValueError):
-        return None
-    return value if math.isfinite(value) else None
+def encode_non_finite(value):
+    """Recursively replace NaN/±Inf floats with JSON-safe tagged objects.
+
+    ``nan → {"__nonfinite__": "nan"}``, ``inf → {"__nonfinite__": "inf"}``,
+    ``-inf → {"__nonfinite__": "-inf"}``.  Containers (dict/list/tuple)
+    are walked; everything else passes through untouched.  The inverse is
+    :func:`decode_non_finite`; together they make ``json.dumps(...,
+    allow_nan=False)`` safe without losing the sentinel semantics (an
+    all-NaN histogram quantile must stay NaN, not become ``null`` or 0).
+    """
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        if math.isnan(value):
+            return {NONFINITE_KEY: "nan"}
+        return {NONFINITE_KEY: "inf" if value > 0 else "-inf"}
+    if isinstance(value, dict):
+        return {key: encode_non_finite(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_non_finite(item) for item in value]
+    return value
+
+
+def decode_non_finite(value):
+    """Inverse of :func:`encode_non_finite` (recursive)."""
+    if isinstance(value, dict):
+        if set(value) == {NONFINITE_KEY}:
+            tag = value[NONFINITE_KEY]
+            try:
+                return _NONFINITE_ENCODE[tag]
+            except KeyError:
+                raise ValueError(
+                    f"unknown non-finite tag {tag!r} "
+                    f"(expected one of {sorted(_NONFINITE_ENCODE)})") from None
+        return {key: decode_non_finite(val) for key, val in value.items()}
+    if isinstance(value, list):
+        return [decode_non_finite(item) for item in value]
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -83,22 +127,19 @@ def export_jsonl(path: str,
     events = collect_events(registry, tracer, profiler, meta)
     with open(path, "w") as handle:
         for event in events:
-            handle.write(json.dumps(_jsonable(event), sort_keys=True))
+            handle.write(json.dumps(encode_non_finite(event),
+                                    sort_keys=True, allow_nan=False))
             handle.write("\n")
     return len(events)
 
 
-def _jsonable(event: Dict[str, object]) -> Dict[str, object]:
-    out: Dict[str, object] = {}
-    for key, value in event.items():
-        if isinstance(value, float) and not math.isfinite(value):
-            value = None  # JSON has no NaN/Inf; null round-trips cleanly
-        out[key] = value
-    return out
-
-
 def read_jsonl(path: str) -> List[Dict[str, object]]:
-    """Parse a JSONL telemetry file back into event dicts."""
+    """Parse a JSONL telemetry file back into event dicts.
+
+    Non-finite values written by :func:`export_jsonl` (tagged objects,
+    see :func:`encode_non_finite`) are restored to the original
+    NaN/±Inf floats.
+    """
     events = []
     with open(path) as handle:
         for line_no, line in enumerate(handle, 1):
@@ -106,7 +147,7 @@ def read_jsonl(path: str) -> List[Dict[str, object]]:
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                events.append(decode_non_finite(json.loads(line)))
             except json.JSONDecodeError as exc:
                 raise ValueError(
                     f"{path}:{line_no}: invalid JSONL line: {exc}") from exc
@@ -116,9 +157,25 @@ def read_jsonl(path: str) -> List[Dict[str, object]]:
 # ----------------------------------------------------------------------
 # Prometheus text exposition format
 # ----------------------------------------------------------------------
+def _prom_value(value: object) -> str:
+    """Render a sample value, using Prometheus' native non-finite forms."""
+    value = float(value)  # type: ignore[arg-type]
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:g}"
+
+
 def prometheus_text(registry: Optional[MetricsRegistry] = None,
                     prefix: str = "repro") -> str:
-    """Render the registry in the Prometheus text exposition format."""
+    """Render the registry in the Prometheus text exposition format.
+
+    Non-finite values are emitted with the format's native ``NaN`` /
+    ``+Inf`` / ``-Inf`` sample syntax (instead of being zeroed or
+    dropped), so :func:`parse_prometheus` round-trips them losslessly —
+    an empty histogram's quantiles stay NaN rather than vanishing.
+    """
     registry = registry if registry is not None else get_registry()
     lines: List[str] = []
     for name, entry in registry.snapshot().items():
@@ -126,20 +183,16 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None,
         kind = entry["type"]
         if kind in ("counter", "gauge"):
             lines.append(f"# TYPE {metric} {kind}")
-            value = _finite(entry["value"])
-            lines.append(f"{metric} {0.0 if value is None else value:g}")
+            lines.append(f"{metric} {_prom_value(entry['value'])}")
         elif kind == "histogram":
             lines.append(f"# TYPE {metric} summary")
             for key, value in entry.items():
                 if not key.startswith("p"):
                     continue
                 quantile = float(key[1:]) / 100.0
-                value = _finite(value)
-                if value is None:
-                    continue
-                lines.append(f'{metric}{{quantile="{quantile:g}"}} {value:g}')
-            total = _finite(entry.get("sum", 0.0)) or 0.0
-            lines.append(f"{metric}_sum {total:g}")
+                lines.append(f'{metric}{{quantile="{quantile:g}"}} '
+                             f"{_prom_value(value)}")
+            lines.append(f"{metric}_sum {_prom_value(entry.get('sum', 0.0))}")
             lines.append(f"{metric}_count {entry.get('count', 0):g}")
     return "\n".join(lines) + ("\n" if lines else "")
 

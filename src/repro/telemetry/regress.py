@@ -1,0 +1,274 @@
+"""Rolling-baseline perf/accuracy regression detection.
+
+Given the ledger's historical series for a metric (stage wall time,
+final/test accuracy, total wall time), the detector compares the current
+value against a **median + MAD** tolerance band over the most recent
+``window`` runs:
+
+    tolerance = max(mad_k · 1.4826 · MAD,        # noise-scaled band
+                    rel_floor · |median|,         # relative jitter floor
+                    abs_floor)                    # absolute floor
+
+* ``1.4826 · MAD`` is the consistent estimator of σ for normal noise, so
+  ``mad_k`` reads like a z-score threshold but is robust to the odd
+  outlier run in the baseline.
+* The *floors* make the gate deterministic on near-constant baselines:
+  a 3-run history of identical timings has MAD = 0, and without a floor
+  every microsecond of scheduler jitter would fail the gate.
+
+Decision rule (``direction="lower"``, i.e. timings):
+``fail ⇔ current > median + tolerance``; for ``direction="higher"``
+(accuracy): ``fail ⇔ current < median − tolerance``.  Fewer than
+``min_history`` baseline points → status ``insufficient_history``,
+which **passes** (first runs bootstrap the baseline).
+
+:func:`gate_run` applies this per-stage and per-accuracy-metric to a
+fresh :class:`~repro.telemetry.ledger.RunRecord` against a
+:class:`~repro.telemetry.ledger.RunLedger`, and renders a markdown
+comparison report for CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .ledger import RunLedger, RunRecord
+from .report import STAGE_ORDER, format_table
+
+__all__ = ["GateSpec", "CheckResult", "GateReport", "mad",
+           "rolling_baseline", "tolerance", "check_series", "gate_run",
+           "DEFAULT_STAGE_SPEC", "DEFAULT_ACCURACY_SPEC",
+           "DEFAULT_WALL_SPEC", "with_threshold", "MAD_SCALE"]
+
+#: Normal-consistency constant: ``1.4826 × MAD ≈ σ`` for Gaussian noise.
+MAD_SCALE = 1.4826
+
+
+def mad(values: Sequence[float]) -> float:
+    """Median absolute deviation of ``values`` (0.0 for empty input)."""
+    if not len(values):
+        return 0.0
+    arr = np.asarray(values, dtype=np.float64)
+    return float(np.median(np.abs(arr - np.median(arr))))
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Detector configuration for one metric family."""
+
+    #: "lower" → smaller is better (timings); "higher" → accuracy.
+    direction: str = "lower"
+    #: MAD multiplier (z-score-like, on the robust σ estimate).
+    mad_k: float = 5.0
+    #: Relative tolerance floor as a fraction of |median|.
+    rel_floor: float = 0.30
+    #: Absolute tolerance floor (seconds for timings, points for acc).
+    abs_floor: float = 1e-3
+    #: Minimum number of baseline runs before the gate is armed.
+    min_history: int = 3
+    #: Rolling window: only the newest ``window`` baselines are used.
+    window: int = 10
+
+    def __post_init__(self):
+        if self.direction not in ("lower", "higher"):
+            raise ValueError("direction must be 'lower' or 'higher'")
+        if self.mad_k < 0 or self.rel_floor < 0 or self.abs_floor < 0:
+            raise ValueError("tolerance parameters must be >= 0")
+        if self.min_history < 1:
+            raise ValueError("min_history must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+
+#: Stage wall-time gate: generous floors, CPU timing jitter is real.
+DEFAULT_STAGE_SPEC = GateSpec(direction="lower", mad_k=5.0, rel_floor=0.50,
+                              abs_floor=0.02, min_history=3, window=10)
+#: Accuracy gate: small-sample smoke accuracies move in coarse steps.
+DEFAULT_ACCURACY_SPEC = GateSpec(direction="higher", mad_k=5.0,
+                                 rel_floor=0.08, abs_floor=0.03,
+                                 min_history=3, window=10)
+#: Total wall-clock gate.
+DEFAULT_WALL_SPEC = GateSpec(direction="lower", mad_k=5.0, rel_floor=0.50,
+                             abs_floor=0.25, min_history=3, window=10)
+
+
+def rolling_baseline(values: Sequence[float],
+                     window: int = 10) -> Dict[str, float]:
+    """``{"median", "mad", "count"}`` over the newest ``window`` values."""
+    tail = [float(v) for v in values][-window:]
+    if not tail:
+        return {"median": math.nan, "mad": math.nan, "count": 0}
+    return {"median": float(np.median(tail)), "mad": mad(tail),
+            "count": len(tail)}
+
+
+def tolerance(values: Sequence[float], spec: GateSpec) -> float:
+    """The tolerance band half-width for ``values`` under ``spec``."""
+    baseline = rolling_baseline(values, spec.window)
+    if baseline["count"] == 0:
+        return math.nan
+    return max(spec.mad_k * MAD_SCALE * baseline["mad"],
+               spec.rel_floor * abs(baseline["median"]),
+               spec.abs_floor)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one metric's gate check."""
+
+    metric: str
+    status: str  # "pass" | "fail" | "insufficient_history" | "skipped"
+    current: Optional[float] = None
+    median: Optional[float] = None
+    tolerance: Optional[float] = None
+    limit: Optional[float] = None
+    history: int = 0
+    direction: str = "lower"
+
+    @property
+    def passed(self) -> bool:
+        return self.status != "fail"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"metric": self.metric, "status": self.status,
+                "current": self.current, "median": self.median,
+                "tolerance": self.tolerance, "limit": self.limit,
+                "history": self.history, "direction": self.direction}
+
+
+def check_series(metric: str, baseline: Sequence[float], current: float,
+                 spec: GateSpec) -> CheckResult:
+    """Gate ``current`` against the rolling ``baseline`` under ``spec``."""
+    baseline = [float(v) for v in baseline if math.isfinite(float(v))]
+    current = float(current)
+    if len(baseline) < spec.min_history:
+        return CheckResult(metric=metric, status="insufficient_history",
+                           current=current, history=len(baseline),
+                           direction=spec.direction)
+    stats = rolling_baseline(baseline, spec.window)
+    band = tolerance(baseline, spec)
+    if spec.direction == "lower":
+        limit = stats["median"] + band
+        failed = current > limit
+    else:
+        limit = stats["median"] - band
+        failed = current < limit
+    if not math.isfinite(current):
+        # A NaN/Inf current value is always a failure once the gate is
+        # armed — something upstream broke, do not let it slide.
+        failed = True
+    return CheckResult(metric=metric,
+                       status="fail" if failed else "pass",
+                       current=current, median=stats["median"],
+                       tolerance=band, limit=limit,
+                       history=stats["count"], direction=spec.direction)
+
+
+# ----------------------------------------------------------------------
+# Whole-run gate against the ledger
+# ----------------------------------------------------------------------
+@dataclass
+class GateReport:
+    """Aggregated gate outcome for one run record."""
+
+    pipeline: str
+    config_fingerprint: str
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [result for result in self.results
+                if result.status == "fail"]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"pipeline": self.pipeline,
+                "config_fingerprint": self.config_fingerprint,
+                "passed": self.passed,
+                "results": [result.to_dict() for result in self.results]}
+
+    def to_markdown(self) -> str:
+        """Markdown comparison table (baseline median vs current)."""
+        rows: List[List[object]] = []
+        for result in self.results:
+            rows.append([
+                result.metric,
+                "-" if result.median is None else result.median,
+                "-" if result.current is None else result.current,
+                "-" if result.tolerance is None else result.tolerance,
+                result.history,
+                {"pass": "✅ pass", "fail": "❌ FAIL",
+                 "insufficient_history": "🌱 bootstrap",
+                 "skipped": "– skipped"}.get(result.status, result.status),
+            ])
+        verdict = "PASS" if self.passed else "FAIL"
+        title = (f"### Regression gate — `{self.pipeline}` "
+                 f"(config `{self.config_fingerprint}`): **{verdict}**")
+        table = format_table(
+            ["metric", "baseline median", "current", "tolerance",
+             "n", "status"], rows)
+        return f"{title}\n\n{table}"
+
+
+def gate_run(ledger: RunLedger, record: RunRecord,
+             stage_spec: GateSpec = DEFAULT_STAGE_SPEC,
+             accuracy_spec: GateSpec = DEFAULT_ACCURACY_SPEC,
+             wall_spec: GateSpec = DEFAULT_WALL_SPEC,
+             stages: Optional[Sequence[str]] = None) -> GateReport:
+    """Gate a fresh ``record`` against the ledger's history.
+
+    Baselines are the prior runs of the **same pipeline with the same
+    config fingerprint** (comparing a D=400 smoke run against a D=3000
+    run would be meaningless).  Checks every stage present in the record
+    (or the explicit ``stages``), ``final_accuracy``/``test_accuracy``
+    when present, and ``wall_s``.  Call *before* appending the record so
+    the current run does not dilute its own baseline.
+    """
+    report = GateReport(pipeline=record.pipeline,
+                        config_fingerprint=record.config_fingerprint)
+    history = ledger.query(pipeline=record.pipeline,
+                           config_fingerprint=record.config_fingerprint)
+    # Exclude the record itself if the caller appended first.
+    history = [r for r in history if r.run_id != record.run_id]
+
+    if stages is None:
+        ordered = [s[len("stage."):] for s in STAGE_ORDER]
+        stages = [s for s in ordered if s in record.stage_times]
+        stages += sorted(set(record.stage_times) - set(ordered))
+    for stage in stages:
+        if stage not in record.stage_times:
+            report.results.append(CheckResult(
+                metric=f"stage.{stage}", status="skipped"))
+            continue
+        series = [r.stage_times[stage] for r in history
+                  if stage in r.stage_times]
+        report.results.append(check_series(
+            f"stage.{stage}", series, record.stage_times[stage],
+            stage_spec))
+
+    for attr in ("final_accuracy", "test_accuracy"):
+        current = getattr(record, attr)
+        if current is None:
+            continue
+        series = [getattr(r, attr) for r in history
+                  if getattr(r, attr) is not None]
+        report.results.append(check_series(attr, series, current,
+                                           accuracy_spec))
+
+    if record.wall_s is not None:
+        series = [r.wall_s for r in history if r.wall_s is not None]
+        report.results.append(check_series("wall_s", series,
+                                           record.wall_s, wall_spec))
+    return report
+
+
+def with_threshold(spec: GateSpec, **overrides) -> GateSpec:
+    """Convenience: derive a spec with selected fields overridden."""
+    return replace(spec, **overrides)

@@ -6,10 +6,12 @@ import numpy as np
 import pytest
 
 from repro.telemetry import (MetricsRegistry, Profiler, Tracer,
-                             collect_events, export_jsonl, export_prometheus,
-                             format_table, parse_prometheus, prometheus_text,
-                             read_jsonl, render_report, sanitize_metric_name,
-                             span, stage_breakdown)
+                             collect_events, decode_non_finite,
+                             encode_non_finite, export_jsonl,
+                             export_prometheus, format_table,
+                             parse_prometheus, prometheus_text, read_jsonl,
+                             render_report, sanitize_metric_name, span,
+                             stage_breakdown)
 
 
 def make_registry() -> MetricsRegistry:
@@ -61,14 +63,39 @@ class TestJsonl:
         span_paths = {e["path"] for e in by_type["span"]}
         assert "stage.update/stage.similarity" in span_paths
 
-    def test_non_finite_becomes_null(self, tmp_path):
+    def test_non_finite_round_trips_losslessly(self, tmp_path):
         registry = MetricsRegistry()
         registry.histogram("empty")  # all-NaN summary
+        registry.set_gauge("plus_inf", math.inf)
+        registry.set_gauge("minus_inf", -math.inf)
         path = str(tmp_path / "nan.jsonl")
         export_jsonl(path, registry=registry, tracer=Tracer())
+        # The file itself must be strict JSON (no bare NaN literals).
+        import json
+        for line in open(path):
+            json.loads(line)  # json.loads accepts NaN, so also check text
+            assert "NaN" not in line and "Infinity" not in line
         events = read_jsonl(path)
-        metric = next(e for e in events if e["type"] == "metric")
-        assert metric["mean"] is None  # NaN does not leak into JSON
+        metrics = {e["name"]: e for e in events if e["type"] == "metric"}
+        assert math.isnan(metrics["empty"]["mean"])  # restored, not null/0
+        assert math.isnan(metrics["empty"]["p50"])
+        assert metrics["plus_inf"]["value"] == math.inf
+        assert metrics["minus_inf"]["value"] == -math.inf
+
+    def test_encode_decode_non_finite_nested(self):
+        original = {"a": math.nan, "b": [1.0, math.inf, {"c": -math.inf}],
+                    "d": "text", "e": 3}
+        encoded = encode_non_finite(original)
+        assert encoded["a"] == {"__nonfinite__": "nan"}
+        decoded = decode_non_finite(encoded)
+        assert math.isnan(decoded["a"])
+        assert decoded["b"][1] == math.inf
+        assert decoded["b"][2]["c"] == -math.inf
+        assert decoded["d"] == "text" and decoded["e"] == 3
+
+    def test_decode_rejects_unknown_tag(self):
+        with pytest.raises(ValueError, match="non-finite tag"):
+            decode_non_finite({"__nonfinite__": "weird"})
 
     def test_bad_line_raises_with_line_number(self, tmp_path):
         path = tmp_path / "bad.jsonl"
@@ -106,6 +133,22 @@ class TestPrometheus:
 
     def test_empty_registry_empty_text(self):
         assert prometheus_text(registry=MetricsRegistry()) == ""
+
+    def test_non_finite_round_trip(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("pos", math.inf)
+        registry.set_gauge("neg", -math.inf)
+        registry.histogram("empty")  # NaN quantiles, count 0
+        text = prometheus_text(registry=registry)
+        # Native Prometheus forms, not zeros or dropped samples.
+        assert "repro_pos +Inf" in text
+        assert "repro_neg -Inf" in text
+        assert 'repro_empty{quantile="0.5"} NaN' in text
+        parsed = parse_prometheus(text)
+        assert parsed["repro_pos"]["samples"][""] == math.inf
+        assert parsed["repro_neg"]["samples"][""] == -math.inf
+        assert math.isnan(parsed["repro_empty"]["samples"]['quantile="0.5"'])
+        assert parsed["repro_empty"]["samples"]["count"] == 0.0
 
     def test_unparseable_sample_raises(self):
         with pytest.raises(ValueError):

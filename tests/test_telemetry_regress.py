@@ -1,0 +1,242 @@
+"""MAD regression detector: property tests, gate semantics, reports."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.ledger import RunLedger, RunRecord
+from repro.telemetry.regress import (DEFAULT_ACCURACY_SPEC,
+                                     DEFAULT_STAGE_SPEC, GateSpec, MAD_SCALE,
+                                     check_series, gate_run, mad,
+                                     rolling_baseline, tolerance,
+                                     with_threshold)
+
+SPEC = GateSpec(direction="lower", mad_k=5.0, rel_floor=0.30,
+                abs_floor=0.02, min_history=3, window=10)
+
+
+class TestMad:
+    def test_empty_is_zero(self):
+        assert mad([]) == 0.0
+
+    def test_constant_is_zero(self):
+        assert mad([2.0, 2.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # median=3, deviations [2,1,0,1,2] -> median 1.
+        assert mad([1, 2, 3, 4, 5]) == 1.0
+
+    def test_robust_to_one_outlier(self):
+        assert mad([1.0, 1.0, 1.0, 1.0, 100.0]) == 0.0
+
+
+class TestSpecValidation:
+    def test_bad_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            GateSpec(direction="sideways")
+
+    def test_negative_floor(self):
+        with pytest.raises(ValueError):
+            GateSpec(rel_floor=-0.1)
+
+    def test_with_threshold_overrides(self):
+        spec = with_threshold(DEFAULT_STAGE_SPEC, mad_k=2.0)
+        assert spec.mad_k == 2.0
+        assert spec.rel_floor == DEFAULT_STAGE_SPEC.rel_floor
+
+
+class TestRollingBaseline:
+    def test_window_takes_newest(self):
+        stats = rolling_baseline([100.0] * 5 + [1.0] * 10, window=10)
+        assert stats["median"] == 1.0
+        assert stats["count"] == 10
+
+    def test_empty(self):
+        stats = rolling_baseline([], window=10)
+        assert math.isnan(stats["median"]) and stats["count"] == 0
+
+
+class TestCheckSeries:
+    def test_insufficient_history_passes(self):
+        result = check_series("stage.extract", [1.0, 1.0], 50.0, SPEC)
+        assert result.status == "insufficient_history"
+        assert result.passed
+
+    def test_non_finite_baseline_values_dropped(self):
+        result = check_series("stage.extract",
+                              [1.0, math.nan, 1.0, math.inf, 1.0],
+                              1.0, SPEC)
+        assert result.status == "pass"
+        assert result.history == 3
+
+    def test_non_finite_current_fails_when_armed(self):
+        result = check_series("stage.extract", [1.0, 1.0, 1.0],
+                              math.nan, SPEC)
+        assert result.status == "fail"
+
+    def test_higher_direction_accuracy(self):
+        spec = GateSpec(direction="higher", mad_k=5.0, rel_floor=0.08,
+                        abs_floor=0.03, min_history=3)
+        base = [0.80, 0.82, 0.81]
+        ok = check_series("final_accuracy", base, 0.79, spec)
+        assert ok.status == "pass"
+        bad = check_series("final_accuracy", base, 0.50, spec)
+        assert bad.status == "fail"
+        assert bad.limit == pytest.approx(0.81 - bad.tolerance)
+
+    # -- property tests ------------------------------------------------
+    @given(median=st.floats(min_value=0.01, max_value=100.0),
+           n=st.integers(min_value=3, max_value=10),
+           jitter=st.floats(min_value=0.0, max_value=0.999))
+    @settings(max_examples=200, deadline=None)
+    def test_no_false_positive_below_threshold(self, median, n, jitter):
+        """Constant baseline + any current within the band must pass."""
+        baseline = [median] * n
+        band = tolerance(baseline, SPEC)
+        # band = max(0, rel_floor*median, abs_floor) > 0 always.
+        current = median + jitter * band
+        result = check_series("m", baseline, current, SPEC)
+        assert result.status == "pass", result.to_dict()
+
+    @given(median=st.floats(min_value=0.01, max_value=100.0),
+           n=st.integers(min_value=3, max_value=10),
+           excess=st.floats(min_value=1.001, max_value=100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_guaranteed_detection_above_threshold(self, median, n, excess):
+        """Any current strictly beyond the band must fail."""
+        baseline = [median] * n
+        band = tolerance(baseline, SPEC)
+        current = median + excess * band
+        if current <= median + band:  # float rounding at tiny excess
+            current = np.nextafter(median + band, math.inf)
+        result = check_series("m", baseline, current, SPEC)
+        assert result.status == "fail", result.to_dict()
+
+    @given(values=st.lists(st.floats(min_value=0.5, max_value=2.0),
+                           min_size=3, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_median_of_baseline_always_passes(self, values):
+        """Re-running exactly at the baseline median never regresses."""
+        stats = rolling_baseline(values, SPEC.window)
+        result = check_series("m", values, stats["median"], SPEC)
+        assert result.status == "pass"
+
+    @given(median=st.floats(min_value=0.01, max_value=100.0),
+           noise=st.floats(min_value=0.0, max_value=0.05))
+    @settings(max_examples=100, deadline=None)
+    def test_mad_band_scales_with_noise(self, median, noise):
+        """Symmetric ±noise jitter keeps current = median+noise passing."""
+        baseline = [median - noise, median, median + noise] * 2
+        band = tolerance(baseline, SPEC)
+        # MAD term alone covers one noise step: 5 * 1.4826 * noise.
+        assert band >= min(SPEC.mad_k * MAD_SCALE * noise,
+                           band)  # sanity: band is the max of terms
+        result = check_series("m", baseline, median + noise, SPEC)
+        assert result.status == "pass"
+
+
+# ----------------------------------------------------------------------
+# gate_run on a synthetic ledger
+# ----------------------------------------------------------------------
+def synth_record(extract=1.0, acc=0.8, wall=2.0, dim=400, pipeline="nshd"):
+    return RunRecord(
+        pipeline=pipeline, config={"dim": dim, "seed": 0}, seed=0,
+        wall_s=wall,
+        stage_times={"extract": extract, "encode": 0.05,
+                     "similarity": 0.01, "update": 0.02},
+        stage_calls={"extract": 1, "encode": 5, "similarity": 15,
+                     "update": 15},
+        final_accuracy=acc, test_accuracy=acc - 0.05)
+
+
+@pytest.fixture
+def seeded_ledger(tmp_path):
+    ledger = RunLedger(str(tmp_path / "ledger"))
+    for extract, acc in ((1.00, 0.80), (1.05, 0.82), (0.95, 0.81)):
+        ledger.append(synth_record(extract=extract, acc=acc))
+    return ledger
+
+
+class TestGateRun:
+    def test_bootstrap_passes_on_empty_ledger(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        report = gate_run(ledger, synth_record())
+        assert report.passed
+        assert all(r.status in ("insufficient_history", "skipped")
+                   for r in report.results)
+
+    def test_unchanged_run_passes(self, seeded_ledger):
+        report = gate_run(seeded_ledger, synth_record())
+        assert report.passed
+        by_metric = {r.metric: r for r in report.results}
+        assert by_metric["stage.extract"].status == "pass"
+        assert by_metric["final_accuracy"].status == "pass"
+        assert by_metric["wall_s"].status == "pass"
+
+    def test_3x_stage_slowdown_fails(self, seeded_ledger):
+        report = gate_run(seeded_ledger, synth_record(extract=3.0))
+        assert not report.passed
+        failures = {r.metric for r in report.failures}
+        assert "stage.extract" in failures
+        # Other stages unaffected.
+        by_metric = {r.metric: r for r in report.results}
+        assert by_metric["stage.encode"].status == "pass"
+
+    def test_accuracy_collapse_fails(self, seeded_ledger):
+        report = gate_run(seeded_ledger, synth_record(acc=0.40))
+        failures = {r.metric for r in report.failures}
+        assert "final_accuracy" in failures
+
+    def test_different_config_not_compared(self, seeded_ledger):
+        # Same pipeline but a different dim: no comparable history.
+        report = gate_run(seeded_ledger, synth_record(extract=50.0,
+                                                      dim=3000))
+        assert report.passed
+        assert all(r.status == "insufficient_history"
+                   for r in report.results)
+
+    def test_own_run_excluded_from_baseline(self, seeded_ledger):
+        record = synth_record(extract=3.0)
+        seeded_ledger.append(record)  # appended *before* gating
+        report = gate_run(seeded_ledger, record)
+        assert not report.passed  # its own 3.0 must not dilute baseline
+
+    def test_stage_order_in_report(self, seeded_ledger):
+        report = gate_run(seeded_ledger, synth_record())
+        stage_metrics = [r.metric for r in report.results
+                         if r.metric.startswith("stage.")]
+        assert stage_metrics == ["stage.extract", "stage.encode",
+                                 "stage.similarity", "stage.update"]
+
+    def test_explicit_missing_stage_skipped(self, seeded_ledger):
+        report = gate_run(seeded_ledger, synth_record(),
+                          stages=["extract", "manifold"])
+        by_metric = {r.metric: r for r in report.results}
+        assert by_metric["stage.manifold"].status == "skipped"
+        assert report.passed  # skipped is not a failure
+
+
+class TestGateReport:
+    def test_markdown_pass(self, seeded_ledger):
+        report = gate_run(seeded_ledger, synth_record())
+        text = report.to_markdown()
+        assert "**PASS**" in text
+        assert "stage.extract" in text
+        assert "✅ pass" in text
+
+    def test_markdown_fail(self, seeded_ledger):
+        report = gate_run(seeded_ledger, synth_record(extract=3.0))
+        text = report.to_markdown()
+        assert "**FAIL**" in text
+        assert "❌ FAIL" in text
+
+    def test_to_dict_round_trips_json(self, seeded_ledger):
+        import json
+        report = gate_run(seeded_ledger, synth_record())
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["passed"] is True
+        assert payload["pipeline"] == "nshd"
+        assert len(payload["results"]) == len(report.results)
