@@ -95,6 +95,18 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--ingest-benchmark-json", default=None,
                         help="pytest-benchmark --benchmark-json output to "
                              "convert into ledger entries")
+    parser.add_argument("--no-run", action="store_true",
+                        help="skip the smoke pipelines (ingest/compact "
+                             "only; used by scripts/run_all.sh after the "
+                             "benchmark suite already ran)")
+    parser.add_argument("--compact", action="store_true",
+                        help="after appending, drop the full metrics/"
+                             "diagnostics snapshots from records older "
+                             "than the gate window (per pipeline+config"
+                             "+kind group); scalar series survive")
+    parser.add_argument("--compact-window", type=int, default=10,
+                        help="newest runs per group kept intact by "
+                             "--compact (default matches the gate window)")
     return parser.parse_args(argv)
 
 
@@ -186,7 +198,8 @@ def ingest_benchmark_json(path: str, ledger: RunLedger, append: bool
 def main(argv=None) -> int:
     args = parse_args(argv)
     injection = _parse_injection(args.inject_slowdown)
-    names = [n.strip() for n in args.pipelines.split(",") if n.strip()]
+    names = ([] if args.no_run else
+             [n.strip() for n in args.pipelines.split(",") if n.strip()])
     # An injection run is a synthetic self-check of the gate's teeth: it
     # must neither become baseline (no ledger append, handled below) nor
     # clobber the real per-commit trajectory file.
@@ -201,23 +214,25 @@ def main(argv=None) -> int:
     ledger = RunLedger(args.ledger_dir)
 
     # Shared dataset + (optionally trained) teacher model for the runs.
-    x_tr, y_tr, x_te, y_te = make_dataset(
-        num_classes=args.classes, num_train=args.train, num_test=args.test,
-        seed=args.seed)
-    x_tr, mean, std = normalize_images(x_tr)
-    x_te, _, _ = normalize_images(x_te, mean, std)
-    model = None
-    if any(n in ("nshd", "baselinehd") for n in names):
-        model = create_model(args.model, num_classes=args.classes,
-                             width_mult=args.width, seed=args.seed)
-        train_cnn(model, x_tr, y_tr, epochs=args.cnn_epochs, verbose=False,
-                  seed=args.seed)
-        model.eval()
+    data = model = None
+    if names:
+        x_tr, y_tr, x_te, y_te = make_dataset(
+            num_classes=args.classes, num_train=args.train,
+            num_test=args.test, seed=args.seed)
+        x_tr, mean, std = normalize_images(x_tr)
+        x_te, _, _ = normalize_images(x_te, mean, std)
+        data = (x_tr, y_tr, x_te, y_te)
+        if any(n in ("nshd", "baselinehd") for n in names):
+            model = create_model(args.model, num_classes=args.classes,
+                                 width_mult=args.width, seed=args.seed)
+            train_cnn(model, x_tr, y_tr, epochs=args.cnn_epochs,
+                      verbose=False, seed=args.seed)
+            model.eval()
 
     records, reports, markdown = [], [], []
     failed = False
     for name in names:
-        record = run_pipeline(name, args, (x_tr, y_tr, x_te, y_te), model)
+        record = run_pipeline(name, args, data, model)
         injected = False
         if injection is not None:
             stage, factor = injection
@@ -272,6 +287,11 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(f"\nwrote {bench_out} ({len(records)} runs) and ledger entries "
           f"under {ledger.path}")
+
+    if args.compact:
+        stripped = ledger.compact(args.compact_window)
+        print(f"compacted {stripped} ledger record(s) outside the "
+              f"{args.compact_window}-run window")
 
     if args.markdown_out and markdown:
         with open(args.markdown_out, "w") as handle:

@@ -19,12 +19,14 @@ echo "== regression gate: smoke pipelines vs results/ledger =="
 python scripts/bench_gate.py
 
 # Teeth check: only meaningful once the baseline is established (>= 3
-# runs of the nshd smoke config in the ledger).
+# runs of the nshd smoke config *from this environment* in the ledger —
+# the gate keys baselines on the env digest, so runs recorded on another
+# machine bootstrap instead of gating).
 echo
 echo "== gate self-check: injected 3x extract slowdown must fail =="
 history="$(python - <<'EOF'
-from repro.telemetry.ledger import RunLedger
-print(len(RunLedger().query(pipeline="nshd")))
+from repro.telemetry.ledger import RunLedger, env_digest
+print(len(RunLedger().query(pipeline="nshd", env_digest=env_digest())))
 EOF
 )"
 if [ "$history" -ge 3 ]; then

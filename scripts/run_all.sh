@@ -8,9 +8,17 @@ python scripts/pretrain_teachers.py
 python scripts/warm_features.py
 pytest tests/ 2>&1 | tee test_output.txt
 # Benchmark invocations append per-benchmark ledger entries via
-# benchmarks/conftest.py (results/ledger/benchmarks.jsonl).
-pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+# benchmarks/conftest.py (results/ledger/benchmarks.jsonl); the
+# --benchmark-json dump is additionally ingested into the run ledger
+# below so the figure benchmarks share the regression trajectory.
+pytest benchmarks/ --benchmark-only \
+    --benchmark-json results/benchmark_run.json 2>&1 | tee bench_output.txt
+python scripts/bench_gate.py --no-run \
+    --ingest-benchmark-json results/benchmark_run.json
 # Perf-regression gate: smoke pipelines vs the committed run ledger
 # (bootstraps and passes on first run; see scripts/check_regression.sh).
 bash scripts/check_regression.sh
+# Serving subsystem: HTTP round-trip, packed/float agreement, overload
+# shedding, and the >= 3x batched-speedup gate (see scripts/check_serve.sh).
+bash scripts/check_serve.sh
 echo "Results tables are under results/, run ledger under results/ledger/"

@@ -1,0 +1,304 @@
+"""Serving benchmark: closed-loop load generator over the micro-batcher.
+
+Measures three ways of answering the same prediction stream with one
+:class:`~repro.serve.engine.InferenceEngine`:
+
+1. **single** — the naive per-request loop: one ``predict_features``
+   call per sample (the baseline every serving stack is judged
+   against);
+2. **batched** — engine calls at ``--batch`` samples per GEMM (the
+   upper bound micro-batching can reach);
+3. **closed-loop** — ``--clients`` generator threads submitting
+   samples through the :class:`~repro.serve.batching.MicroBatcher`,
+   recording per-request latency; reports throughput and latency
+   P50/P95/P99.
+
+The run is appended to the run ledger (``kind="serve"``) with the
+latency quantiles and the batcher's telemetry snapshot, and gated
+against the rolling median+MAD baseline exactly like the training smoke
+runs (``scripts/check_regression.sh``).  ``--min-speedup`` turns the
+batched-vs-single ratio into an exit status for CI.
+
+By default the engine runs a **synthetic bundle** (random bipolar
+projection + class hypervectors, identity scaler): throughput is a
+function of shapes and dtypes, not weight values, and synthesizing
+skips a minute of CNN smoke training.  Pass ``--bundle PATH`` to bench
+a real exported bundle instead.
+
+Usage::
+
+    python scripts/serve_bench.py                       # synthetic, D=2048
+    python scripts/serve_bench.py --requests 2000 --clients 8
+    python scripts/serve_bench.py --bundle results/nshd.bundle.npz
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import telemetry  # noqa: E402
+from repro.serve import InferenceEngine, ModelBundle  # noqa: E402
+from repro.serve.batching import MicroBatcher  # noqa: E402
+from repro.serve.bundle import BUNDLE_VERSION  # noqa: E402
+from repro.telemetry import regress  # noqa: E402
+from repro.telemetry.ledger import (RunLedger, RunRecord,  # noqa: E402
+                                    config_fingerprint, git_info)
+from repro.utils.rng import fresh_rng  # noqa: E402
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="benchmark the serving engine and micro-batcher, "
+                    "ledger the result, gate against the rolling baseline")
+    parser.add_argument("--bundle", default=None,
+                        help="path to an exported bundle (default: "
+                             "synthesize a random binarized bundle)")
+    parser.add_argument("--dim", type=int, default=2048,
+                        help="hypervector dimensionality (synthetic)")
+    parser.add_argument("--features", type=int, default=128,
+                        help="input feature count (synthetic)")
+    parser.add_argument("--classes", type=int, default=10,
+                        help="class count (synthetic)")
+    parser.add_argument("--requests", type=int, default=1024,
+                        help="requests per measurement phase")
+    parser.add_argument("--batch", type=int, default=32,
+                        help="micro-batch size (acceptance floor: >= 32)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="closed-loop client threads")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="micro-batcher worker threads")
+    parser.add_argument("--max-latency-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--float-path", action="store_true",
+                        help="bench the float cosine path instead of the "
+                             "bit-packed fast path")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit nonzero unless batched/single "
+                             "throughput ratio >= this")
+    parser.add_argument("--ledger-dir",
+                        default=os.path.join(REPO_ROOT, "results", "ledger"))
+    parser.add_argument("--no-append", action="store_true")
+    parser.add_argument("--no-gate", action="store_true")
+    parser.add_argument("--json-out", default=None,
+                        help="optional path for the raw result JSON")
+    return parser.parse_args(argv)
+
+
+def synthetic_bundle(dim: int, features: int, classes: int,
+                     seed: int) -> ModelBundle:
+    """A structurally-valid random bundle (throughput depends only on
+    shapes, so random weights bench the same code path as real ones)."""
+    rng = fresh_rng((seed, "serve-bench"))
+    projection = np.where(rng.random((features, dim)) < 0.5, -1.0, 1.0)
+    class_matrix = np.where(rng.random((classes, dim)) < 0.5, -1.0, 1.0)
+    config = {"synthetic": True, "dim": dim, "features": features,
+              "classes": classes, "seed": seed}
+    arrays = {
+        "scaler.mean": np.zeros(features),
+        "scaler.std": np.ones(features),
+        "encoder.projection": projection,
+        "classes": class_matrix,
+    }
+    info = {
+        "bundle_version": BUNDLE_VERSION,
+        "pipeline": "SyntheticHD",
+        "dim": dim, "num_classes": classes,
+        "created_at": float(time.time()),
+        "git": git_info(REPO_ROOT),
+        "config": config,
+        "config_fingerprint": config_fingerprint(config),
+        "binarized": True, "quantize_bits": None,
+        "encoder": {"type": "random_projection", "in_features": features,
+                    "dim": dim, "quantize": True},
+        "extractor": None, "manifold": None,
+        "arrays": sorted(arrays),
+    }
+    return ModelBundle(arrays, info)
+
+
+def bench_single(engine: InferenceEngine, samples: np.ndarray) -> dict:
+    """Naive per-request loop: one predict call per sample."""
+    t0 = telemetry.clock()
+    for row in samples:
+        engine.predict_features(row)
+    elapsed = telemetry.clock() - t0
+    return {"wall_s": elapsed,
+            "throughput_rps": len(samples) / max(elapsed, 1e-9)}
+
+
+def bench_batched(engine: InferenceEngine, samples: np.ndarray,
+                  batch: int) -> dict:
+    """Engine-level batching at ``batch`` samples per call."""
+    t0 = telemetry.clock()
+    for start in range(0, len(samples), batch):
+        engine.predict_features(samples[start:start + batch])
+    elapsed = telemetry.clock() - t0
+    return {"wall_s": elapsed,
+            "throughput_rps": len(samples) / max(elapsed, 1e-9)}
+
+
+def bench_closed_loop(engine: InferenceEngine, samples: np.ndarray,
+                      batch: int, clients: int, workers: int,
+                      max_latency_ms: float) -> dict:
+    """Closed-loop generator: ``clients`` threads, per-request latency."""
+    latencies: list = [[] for _ in range(clients)]
+    errors = [0] * clients
+    shares = np.array_split(np.arange(len(samples)), clients)
+    with MicroBatcher(engine.predict_features, max_batch_size=batch,
+                      max_latency_ms=max_latency_ms, workers=workers,
+                      default_timeout_s=30.0) as batcher:
+        def client(cid: int) -> None:
+            for i in shares[cid]:
+                t0 = telemetry.clock()
+                try:
+                    batcher.submit(samples[i])
+                except Exception:
+                    errors[cid] += 1
+                    continue
+                latencies[cid].append(
+                    1000.0 * (telemetry.clock() - t0))
+
+        threads = [threading.Thread(target=client, args=(cid,))
+                   for cid in range(clients)]
+        t0 = telemetry.clock()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = telemetry.clock() - t0
+        stats = dict(batcher.stats)
+    lat = np.concatenate([np.asarray(chunk) for chunk in latencies]) \
+        if any(latencies) else np.array([0.0])
+    completed = int(stats.get("completed", 0))
+    return {
+        "wall_s": elapsed,
+        "throughput_rps": completed / max(elapsed, 1e-9),
+        "completed": completed,
+        "errors": int(sum(errors)),
+        "batches": int(stats.get("batches", 0)),
+        "mean_batch": completed / max(1, int(stats.get("batches", 1))),
+        "latency_ms": {
+            "p50": float(np.percentile(lat, 50)),
+            "p95": float(np.percentile(lat, 95)),
+            "p99": float(np.percentile(lat, 99)),
+            "max": float(lat.max()),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    telemetry.get_registry().reset()
+    telemetry.get_tracer().reset()
+
+    if args.bundle:
+        bundle = ModelBundle.load(args.bundle)
+    else:
+        bundle = synthetic_bundle(args.dim, args.features, args.classes,
+                                  args.seed)
+    engine = InferenceEngine(
+        bundle, use_packed=(False if args.float_path else None),
+        cache_size=0, build_extractor=False)
+    in_features = int(bundle.info["encoder"]["in_features"])
+    rng = fresh_rng((args.seed, "serve-bench-load"))
+    samples = rng.standard_normal((args.requests, in_features))
+
+    # Warm-up: page in BLAS kernels and the packed class matrix.
+    engine.predict_features(samples[: min(64, len(samples))])
+
+    t_start = telemetry.clock()
+    single = bench_single(engine, samples)
+    batched = bench_batched(engine, samples, args.batch)
+    loop = bench_closed_loop(engine, samples, args.batch, args.clients,
+                             args.workers, args.max_latency_ms)
+    wall_s = telemetry.clock() - t_start
+    speedup = batched["throughput_rps"] / max(single["throughput_rps"],
+                                              1e-9)
+    loop_speedup = loop["throughput_rps"] / max(single["throughput_rps"],
+                                                1e-9)
+
+    print(f"engine: {engine!r}")
+    print(f"single      : {single['throughput_rps']:>10.1f} req/s")
+    print(f"batched({args.batch:>3}) : {batched['throughput_rps']:>10.1f} "
+          f"req/s   ({speedup:.2f}x single)")
+    print(f"closed-loop : {loop['throughput_rps']:>10.1f} req/s   "
+          f"({loop_speedup:.2f}x single, {args.clients} clients, "
+          f"mean batch {loop['mean_batch']:.1f})")
+    print(f"latency ms  : p50={loop['latency_ms']['p50']:.2f} "
+          f"p95={loop['latency_ms']['p95']:.2f} "
+          f"p99={loop['latency_ms']['p99']:.2f}")
+    if loop["errors"]:
+        print(f"closed-loop errors: {loop['errors']}")
+
+    config = {
+        "bundle": os.path.basename(args.bundle) if args.bundle else None,
+        "synthetic": args.bundle is None,
+        "dim": int(bundle.info["dim"]),
+        "features": in_features,
+        "classes": int(bundle.info["num_classes"]),
+        "requests": args.requests, "batch": args.batch,
+        "clients": args.clients, "workers": args.workers,
+        "packed": engine.use_packed, "seed": args.seed,
+    }
+    record = RunRecord.capture(
+        pipeline="serve", kind="serve", config=config, seed=args.seed,
+        wall_s=wall_s)
+    record.stage_times.update({
+        "serve.single": single["wall_s"],
+        "serve.batched": batched["wall_s"],
+        "serve.closed_loop": loop["wall_s"],
+    })
+    record.extra["serve"] = {
+        "single_rps": single["throughput_rps"],
+        "batched_rps": batched["throughput_rps"],
+        "closed_loop_rps": loop["throughput_rps"],
+        "speedup_batched": speedup,
+        "speedup_closed_loop": loop_speedup,
+        "latency_ms": loop["latency_ms"],
+        "mean_batch": loop["mean_batch"],
+        "errors": loop["errors"],
+    }
+
+    ledger = RunLedger(args.ledger_dir)
+    failed = False
+    if not args.no_gate:
+        report = regress.gate_run(ledger, record)
+        print()
+        print(report.to_markdown())
+        failed = not report.passed
+    if not args.no_append:
+        ledger.append(record)
+        print(f"\nappended serve record to {ledger.path}")
+
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump({"single": single, "batched": batched,
+                       "closed_loop": loop, "speedup_batched": speedup,
+                       "speedup_closed_loop": loop_speedup,
+                       "config": config},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"SPEEDUP GATE FAILED: batched {speedup:.2f}x < required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    if failed:
+        print("REGRESSION GATE FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

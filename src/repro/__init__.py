@@ -29,6 +29,9 @@ Subpackages
 ``repro.telemetry``
     Observability: metrics registry, tracing spans, autograd/HD
     profiling hooks, exporters and run reports.
+``repro.serve``
+    Inference serving: frozen model bundles, the fused (bit-packed)
+    inference engine, dynamic micro-batching, and the HTTP model server.
 """
 
 __version__ = "1.0.0"

@@ -11,7 +11,7 @@ quantized inference routine so the claim is testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -31,6 +31,25 @@ class QuantizedTensor:
     @property
     def nbytes(self) -> int:
         return self.q.nbytes
+
+    # -- serialization (model-bundle payloads) -------------------------
+    def to_arrays(self, prefix: str) -> Dict[str, np.ndarray]:
+        """Flatten into checkpoint-ready arrays ``{prefix.q, prefix.scale}``.
+
+        This is the payload format :class:`repro.serve.bundle.ModelBundle`
+        embeds when exporting a quantized (Vitis-AI-style int8) bundle, so
+        the serving engine can ship the exact integer weights the DPU
+        deployment path would.
+        """
+        return {f"{prefix}.q": self.q,
+                f"{prefix}.scale": np.float64(self.scale)}
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray],
+                    prefix: str) -> "QuantizedTensor":
+        """Inverse of :meth:`to_arrays` (KeyError when absent)."""
+        return cls(q=np.asarray(arrays[f"{prefix}.q"]),
+                   scale=float(np.asarray(arrays[f"{prefix}.scale"])))
 
 
 def quantize_symmetric(values: np.ndarray, bits: int = 8
@@ -105,6 +124,21 @@ class QuantizedNSHD:
                           labels: np.ndarray) -> float:
         return float((self.predict_features(raw_features) ==
                       np.asarray(labels)).mean())
+
+    def payload_arrays(self) -> Dict[str, np.ndarray]:
+        """Checkpoint-ready int8 payloads (FC weight/bias + class HVs).
+
+        The serving bundle (:class:`repro.serve.bundle.ModelBundle`)
+        embeds exactly these arrays when exported with ``quantize_bits``,
+        so the served int8 path and this deployment view share one
+        payload format.
+        """
+        arrays = self.class_matrix.to_arrays("classes")
+        if self.fc_weight is not None:
+            arrays.update(self.fc_weight.to_arrays("manifold.weight"))
+            if self.fc_bias is not None:
+                arrays["manifold.bias"] = self.fc_bias
+        return arrays
 
     def model_bytes(self) -> int:
         """Quantized payload size (FC + class HVs + binary projection)."""

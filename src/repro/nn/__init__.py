@@ -13,8 +13,8 @@ from .layers import (AdaptiveAvgPool2d, AvgPool2d, BatchNorm2d, Conv2d,
                      Sigmoid, SiLU, TraceRecord, trace)
 from .optim import SGD, Adam, CosineLR, Optimizer, StepLR
 from .serialize import (CheckpointError, load_manifest, load_module,
-                        load_state, load_state_with_manifest, save_module,
-                        save_state)
+                        load_state, load_state_with_manifest,
+                        manifest_section, save_module, save_state)
 from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack
 
 __all__ = [
@@ -26,5 +26,6 @@ __all__ = [
     "trace", "TraceRecord",
     "Optimizer", "SGD", "Adam", "StepLR", "CosineLR",
     "save_state", "load_state", "save_module", "load_module",
-    "load_manifest", "load_state_with_manifest", "CheckpointError",
+    "load_manifest", "load_state_with_manifest", "manifest_section",
+    "CheckpointError",
 ]

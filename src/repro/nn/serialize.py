@@ -27,8 +27,8 @@ from .layers import Module
 
 __all__ = [
     "save_state", "load_state", "load_state_with_manifest", "load_manifest",
-    "save_module", "load_module", "CheckpointError", "MANIFEST_KEY",
-    "FORMAT_VERSION",
+    "manifest_section", "save_module", "load_module", "CheckpointError",
+    "MANIFEST_KEY", "FORMAT_VERSION",
 ]
 
 #: Reserved archive member holding the JSON manifest (uint8 payload).
@@ -49,8 +49,10 @@ def _array_crc(array: np.ndarray) -> int:
 
 
 def _build_manifest(state: Dict[str, np.ndarray],
-                    meta: Optional[Dict[str, Any]]) -> Dict[str, Any]:
-    return {
+                    meta: Optional[Dict[str, Any]],
+                    sections: Optional[Dict[str, Dict[str, Any]]] = None
+                    ) -> Dict[str, Any]:
+    manifest: Dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "arrays": {
             name: {
@@ -62,22 +64,50 @@ def _build_manifest(state: Dict[str, np.ndarray],
         },
         "meta": meta or {},
     }
+    if sections:
+        manifest["sections"] = dict(sections)
+    return manifest
+
+
+def manifest_section(manifest: Optional[Dict[str, Any]],
+                     name: str) -> Optional[Dict[str, Any]]:
+    """Return a named manifest section (or None).
+
+    Sections are free-form JSON sub-documents written via the
+    ``sections`` argument of :func:`save_state`.  Subsystems use them to
+    attach their own schema to a checkpoint without colliding with the
+    pipeline ``meta`` — e.g. the serving layer's ``"bundle"`` section
+    (see :mod:`repro.serve.bundle`).  Legacy archives (no manifest, or
+    manifests written before sections existed) simply return None.
+    """
+    if manifest is None:
+        return None
+    sections = manifest.get("sections")
+    if not isinstance(sections, dict):
+        return None
+    section = sections.get(name)
+    return section if isinstance(section, dict) else None
 
 
 def save_state(state: Dict[str, np.ndarray], path: str,
-               meta: Optional[Dict[str, Any]] = None) -> None:
+               meta: Optional[Dict[str, Any]] = None,
+               sections: Optional[Dict[str, Dict[str, Any]]] = None
+               ) -> None:
     """Atomically write a state dict (plus optional JSON ``meta``) to ``path``.
 
     The archive is first serialized to a temporary sibling file and then
     moved over ``path`` with ``os.replace``; readers never observe a
     partially-written checkpoint.  ``meta`` must be JSON-serializable and
     is embedded in the integrity manifest (see :func:`load_manifest`).
+    ``sections`` optionally adds named JSON sub-documents to the manifest
+    (see :func:`manifest_section`); adding a section does not bump the
+    format version — readers that don't know a section ignore it.
     """
     if MANIFEST_KEY in state:
         raise ValueError(f"state key {MANIFEST_KEY!r} is reserved for the "
                          "checkpoint manifest")
     arrays = {name: np.asarray(value) for name, value in state.items()}
-    manifest = _build_manifest(arrays, meta)
+    manifest = _build_manifest(arrays, meta, sections)
     payload = np.frombuffer(
         json.dumps(manifest, sort_keys=True).encode("utf-8"), dtype=np.uint8)
 

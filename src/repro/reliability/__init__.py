@@ -11,8 +11,12 @@ Implements the robustness story around the paper's HD pipelines:
   robustness sweep for NSHD / BaselineHD / VanillaHD.
 * :mod:`~repro.reliability.resilient` — :class:`ResilientPipeline`,
   bounded retry with batch splitting and checkpoint-corruption fallback.
+* :mod:`~repro.reliability.degrade` — serving-side overload
+  degradation: :class:`LoadShedder` watermark admission control plus the
+  shed/deadline error types surfaced by :mod:`repro.serve`.
 """
 
+from .degrade import DeadlineExceededError, LoadShedder, OverloadShedError
 from .faults import (BatchCorruptionInjector, BitFlipInjector,
                      CheckpointTruncator, ComposeInjector, FaultInjector,
                      FeatureDropInjector, flip_bits, truncate_file)
@@ -30,4 +34,5 @@ __all__ = [
     "DEFAULT_RATES", "bit_flip_curve", "bit_flip_sweep", "format_sweep",
     "sweep_systems",
     "ResilientPipeline",
+    "LoadShedder", "OverloadShedError", "DeadlineExceededError",
 ]

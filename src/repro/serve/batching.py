@@ -1,0 +1,317 @@
+"""Dynamic micro-batching: coalesce concurrent requests into one GEMM.
+
+HD inference is dominated by two matrix products (projection, class
+similarity); a single-sample call wastes almost all of the BLAS / bit-op
+throughput.  :class:`MicroBatcher` closes that gap for a serving
+process: concurrent :meth:`submit` calls are coalesced under a
+condition variable until either ``max_batch_size`` samples are waiting
+or the oldest has waited ``max_latency_ms``, then one worker runs the
+whole batch through the engine at once.  numpy's GEMM and bitwise
+kernels release the GIL, so a small worker pool overlaps batches.
+
+Degradation is explicit rather than emergent:
+
+* an optional :class:`repro.reliability.LoadShedder` rejects new
+  requests with :class:`~repro.reliability.OverloadShedError` once queue
+  depth crosses its high watermark (hysteresis; HTTP 503 upstream);
+* each request carries a deadline — expired requests are *skipped* by
+  the workers (their submitter gets
+  :class:`~repro.reliability.DeadlineExceededError`, HTTP 504) instead
+  of wasting batch slots on answers nobody is waiting for.
+
+``shutdown()`` drains the queue gracefully: no new submits are
+admitted, queued requests are answered, then the workers exit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from ..reliability.degrade import (DeadlineExceededError, LoadShedder,
+                                   OverloadShedError)
+from ..telemetry import clock, get_registry, span
+
+__all__ = ["MicroBatcher"]
+
+
+class _Request:
+    """One pending sample: features in, (result | error) out."""
+
+    __slots__ = ("features", "event", "result", "error", "deadline",
+                 "enqueued_at")
+
+    def __init__(self, features: np.ndarray, deadline: Optional[float]):
+        self.features = features
+        self.event = threading.Event()
+        self.result: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self.deadline = deadline
+        self.enqueued_at = clock()
+
+    def finish(self, result: Optional[int],
+               error: Optional[BaseException] = None) -> None:
+        self.result = result
+        self.error = error
+        self.event.set()
+
+
+class MicroBatcher:
+    """Coalesce concurrent predict calls into engine-sized batches.
+
+    Parameters
+    ----------
+    predict_fn:
+        ``(n, F) -> (n,)`` batch classifier — typically
+        ``engine.predict_features``.  Duck-typed: anything with that
+        signature works (so :class:`repro.reliability.ResilientPipeline`
+        can sit in between).
+    max_batch_size:
+        Largest batch a worker takes in one bite.
+    max_latency_ms:
+        Longest the *oldest* queued request waits for co-travellers
+        before a partial batch is dispatched.
+    workers:
+        Worker-thread count; >1 overlaps batches (BLAS releases the GIL).
+    shedder:
+        Optional admission controller; ``None`` admits everything.
+    default_timeout_s:
+        Per-request deadline used when :meth:`submit` gets no explicit
+        ``timeout_s``; ``None`` means wait forever.
+    """
+
+    def __init__(self, predict_fn: Callable[[np.ndarray], np.ndarray],
+                 max_batch_size: int = 32, max_latency_ms: float = 5.0,
+                 workers: int = 2, shedder: Optional[LoadShedder] = None,
+                 default_timeout_s: Optional[float] = None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_latency_ms < 0:
+            raise ValueError("max_latency_ms must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.predict_fn = predict_fn
+        self.max_batch_size = int(max_batch_size)
+        self.max_latency_s = float(max_latency_ms) / 1000.0
+        self.shedder = shedder
+        self.default_timeout_s = default_timeout_s
+        self._queue: Deque[_Request] = deque()
+        self._cv = threading.Condition()
+        self._stopping = False
+        self._stopped = threading.Event()
+        self.stats: Dict[str, int] = {
+            "submitted": 0, "completed": 0, "batches": 0,
+            "shed": 0, "expired": 0, "errors": 0,
+        }
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"microbatcher-{i}", daemon=True)
+            for i in range(int(workers))
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Current queue depth (approximate outside the lock)."""
+        return len(self._queue)
+
+    def submit(self, features: np.ndarray,
+               timeout_s: Optional[float] = None) -> int:
+        """Blocking predict for one sample's ``(F,)`` feature vector.
+
+        Raises :class:`OverloadShedError` when admission control rejects
+        the request, :class:`DeadlineExceededError` when the deadline
+        passes before a worker answers, and re-raises any engine error.
+        """
+        registry = get_registry()
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
+        features = np.asarray(features, dtype=np.float64).reshape(-1)
+        deadline = (clock() + timeout_s) if timeout_s is not None else None
+        request = _Request(features, deadline)
+        with self._cv:
+            if self._stopping:
+                raise RuntimeError("MicroBatcher is shut down")
+            if (self.shedder is not None
+                    and not self.shedder.admit(len(self._queue))):
+                self.stats["shed"] += 1
+                raise OverloadShedError(
+                    f"queue depth {len(self._queue)} over high watermark "
+                    f"{self.shedder.high_watermark}")
+            self.stats["submitted"] += 1
+            self._queue.append(request)
+            self._cv.notify()
+        registry.inc("serve.batcher.submitted")
+
+        remaining = (deadline - clock()) if deadline is not None else None
+        if not request.event.wait(remaining):
+            # Nobody answered in time; mark it dead so a worker skips it.
+            request.deadline = float("-inf")
+            registry.inc("serve.batcher.deadline_exceeded")
+            with self._cv:
+                self.stats["expired"] += 1
+            raise DeadlineExceededError(
+                f"request expired after {timeout_s:.3f}s "
+                f"(queue depth {len(self._queue)})")
+        if request.error is not None:
+            raise request.error
+        return int(request.result)
+
+    def submit_many(self, features: np.ndarray,
+                    timeout_s: Optional[float] = None) -> List[int]:
+        """Convenience loop over :meth:`submit` (tests, load generators)."""
+        return [self.submit(row, timeout_s=timeout_s)
+                for row in np.atleast_2d(features)]
+
+    def submit_all(self, features: np.ndarray,
+                   timeout_s: Optional[float] = None) -> List[int]:
+        """Enqueue a whole ``(n, F)`` matrix at once, then collect.
+
+        Unlike :meth:`submit_many` (which blocks per row, serializing an
+        n-sample caller into n single-sample batches), all rows enter
+        the queue under one lock acquisition so the workers can coalesce
+        them into full batches immediately.  This is what the HTTP
+        ``/predict`` handler uses for multi-sample requests.  Raises the
+        first per-row error (shed / deadline / engine failure) after all
+        rows settled.
+        """
+        registry = get_registry()
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
+        rows = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        deadline = (clock() + timeout_s) if timeout_s is not None else None
+        requests = [_Request(row.reshape(-1), deadline) for row in rows]
+        with self._cv:
+            if self._stopping:
+                raise RuntimeError("MicroBatcher is shut down")
+            if (self.shedder is not None
+                    and not self.shedder.admit(len(self._queue))):
+                self.stats["shed"] += len(requests)
+                raise OverloadShedError(
+                    f"queue depth {len(self._queue)} over high watermark "
+                    f"{self.shedder.high_watermark}")
+            self.stats["submitted"] += len(requests)
+            self._queue.extend(requests)
+            self._cv.notify_all()
+        registry.inc("serve.batcher.submitted", len(requests))
+
+        first_error: Optional[BaseException] = None
+        results: List[int] = []
+        for request in requests:
+            remaining = ((deadline - clock()) if deadline is not None
+                         else None)
+            if not request.event.wait(remaining):
+                request.deadline = float("-inf")
+                registry.inc("serve.batcher.deadline_exceeded")
+                with self._cv:
+                    self.stats["expired"] += 1
+                first_error = first_error or DeadlineExceededError(
+                    f"request expired after {timeout_s:.3f}s")
+                results.append(-1)
+                continue
+            if request.error is not None:
+                first_error = first_error or request.error
+                results.append(-1)
+            else:
+                results.append(int(request.result))
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> Optional[List[_Request]]:
+        """Block until a dispatchable batch exists (or shutdown drains).
+
+        Dispatch condition: ``max_batch_size`` waiting, or the oldest
+        request has aged ``max_latency_s``, or the batcher is draining.
+        """
+        with self._cv:
+            while True:
+                now = clock()
+                # Drop requests that already expired while queued.
+                while self._queue and self._queue[0].deadline is not None \
+                        and self._queue[0].deadline <= now:
+                    request = self._queue.popleft()
+                    self.stats["expired"] += 1
+                    request.finish(None, DeadlineExceededError(
+                        "request expired in queue"))
+                if self._queue:
+                    oldest = self._queue[0].enqueued_at
+                    if (len(self._queue) >= self.max_batch_size
+                            or now - oldest >= self.max_latency_s
+                            or self._stopping):
+                        batch = [self._queue.popleft()
+                                 for _ in range(min(len(self._queue),
+                                                    self.max_batch_size))]
+                        return batch
+                    self._cv.wait(self.max_latency_s - (now - oldest))
+                    continue
+                if self._stopping:
+                    return None
+                self._cv.wait()
+
+    def _worker_loop(self) -> None:
+        registry = get_registry()
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            live = [r for r in batch
+                    if r.deadline is None or r.deadline > clock()]
+            for request in batch:
+                if request not in live:
+                    request.finish(None, DeadlineExceededError(
+                        "request expired before dispatch"))
+            if not live:
+                continue
+            stacked = np.stack([r.features for r in live])
+            wait_ms = 1000.0 * (clock() - live[0].enqueued_at)
+            registry.observe("serve.batcher.batch_size", float(len(live)))
+            registry.observe("serve.batcher.queue_wait_ms", wait_ms)
+            try:
+                with span("serve.batcher.dispatch",
+                          nbytes=int(stacked.nbytes)):
+                    labels = np.asarray(self.predict_fn(stacked))
+            except BaseException as exc:  # surfaced per request
+                with self._cv:
+                    self.stats["errors"] += len(live)
+                registry.inc("serve.batcher.errors", len(live))
+                for request in live:
+                    request.finish(None, exc)
+                continue
+            with self._cv:
+                self.stats["batches"] += 1
+                self.stats["completed"] += len(live)
+            registry.inc("serve.batcher.batches")
+            registry.inc("serve.batcher.completed", len(live))
+            for request, label in zip(live, labels):
+                request.finish(int(label))
+
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Drain the queue, answer every pending request, stop workers."""
+        with self._cv:
+            if self._stopping:
+                return
+            self._stopping = True
+            self._cv.notify_all()
+        for thread in self._workers:
+            thread.join(timeout_s)
+        self._stopped.set()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (f"MicroBatcher(batch={self.max_batch_size}, "
+                f"latency_ms={self.max_latency_s * 1000:.1f}, "
+                f"workers={len(self._workers)}, depth={self.depth}, "
+                f"stats={self.stats})")

@@ -1,0 +1,381 @@
+"""Versioned, frozen model bundles for the serving layer.
+
+A :class:`ModelBundle` is the deployment artifact of a trained pipeline
+(:class:`repro.learn.NSHD` / ``BaselineHD`` / ``VanillaHD``): every array
+inference needs — CNN extractor weights, manifold FC, projection (or
+nonlinear basis), class hypervectors, scaler statistics — captured into a
+single atomic, CRC-verified archive (:mod:`repro.nn.serialize`) together
+with a JSON provenance block (git SHA, config fingerprint, creation
+time, pipeline topology) stored as the ``"bundle"`` manifest section.
+
+Bundles are *frozen*: they carry no optimizer state, no RNG state, no
+training history — exactly the inference closure and nothing else.  Two
+deployment transforms can be applied at export time:
+
+* ``binarize=True`` hard-quantizes the class hypervectors to bipolar
+  form, enabling the engine's bit-packed XOR-popcount fast path
+  (Schmuck-style dense binary HD inference).
+* ``quantize_bits=8`` stores the manifold FC weights (and, for
+  non-binarized bundles, the class matrix) as symmetric int8 payloads —
+  the Vitis-AI-style deployment path of :mod:`repro.hardware.quantize`.
+
+:meth:`ModelBundle.verify` re-reads an archive with CRC enforcement and
+structurally validates the arrays against the provenance block, so a
+serving process can refuse a torn or mismatched artifact before it ever
+answers a request.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..hardware.quantize import QuantizedTensor, quantize_symmetric
+from ..hd.encoders import NonlinearEncoder, RandomProjectionEncoder
+from ..hd.hypervector import hard_quantize, is_bipolar
+from ..nn.serialize import (CheckpointError, load_state_with_manifest,
+                            manifest_section, save_state)
+from ..telemetry import (config_fingerprint, decode_non_finite,
+                         encode_non_finite, git_info)
+
+__all__ = ["BUNDLE_VERSION", "BUNDLE_SECTION", "BundleError", "ModelBundle"]
+
+#: Current bundle schema version (bumped on incompatible layout changes).
+BUNDLE_VERSION = 1
+
+#: Manifest section name carrying the bundle provenance block.
+BUNDLE_SECTION = "bundle"
+
+
+class BundleError(RuntimeError):
+    """A model bundle is missing, malformed, or incompatible."""
+
+
+def _encoder_spec(encoder) -> Dict[str, Any]:
+    if isinstance(encoder, RandomProjectionEncoder):
+        return {"type": "random_projection",
+                "in_features": int(encoder.in_features),
+                "dim": int(encoder.dim),
+                "quantize": bool(encoder.quantize)}
+    if isinstance(encoder, NonlinearEncoder):
+        return {"type": "nonlinear",
+                "in_features": int(encoder.in_features),
+                "dim": int(encoder.dim),
+                "quantize": bool(encoder.quantize)}
+    raise BundleError(
+        f"cannot bundle encoder of type {type(encoder).__name__}; "
+        "supported: RandomProjectionEncoder, NonlinearEncoder")
+
+
+class ModelBundle:
+    """Frozen inference artifact: arrays + JSON provenance ``info``.
+
+    Construct via :meth:`from_pipeline` (export) or :meth:`load`
+    (deserialize); the raw constructor is for tests and tools that
+    already hold a validated ``(arrays, info)`` pair.
+    """
+
+    def __init__(self, arrays: Dict[str, np.ndarray],
+                 info: Dict[str, Any]):
+        self.arrays = dict(arrays)
+        self.info = dict(info)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pipeline(cls, pipeline, config: Optional[Dict[str, Any]] = None,
+                      binarize: bool = False,
+                      quantize_bits: Optional[int] = None) -> "ModelBundle":
+        """Capture a trained pipeline's inference closure.
+
+        Parameters
+        ----------
+        pipeline:
+            A *fitted* NSHD / BaselineHD / VanillaHD instance.
+        config:
+            The run configuration to fingerprint into the provenance
+            block (free-form JSON-serializable dict).
+        binarize:
+            Hard-quantize the class hypervectors to bipolar ±1 at export
+            time.  This is what unlocks the engine's bit-packed
+            XOR-popcount path; for an already-bipolar class matrix it is
+            a no-op.
+        quantize_bits:
+            When set (e.g. 8), store the manifold FC weight — and the
+            class matrix, unless ``binarize`` already made it 1-bit — as
+            symmetric integer payloads (``*.q`` / ``*.scale`` arrays).
+        """
+        scaler = getattr(pipeline, "scaler", None)
+        if scaler is None or scaler.mean is None:
+            raise BundleError(
+                "pipeline has no fitted FeatureScaler — bundle export "
+                "requires a trained pipeline (call fit first)")
+        trainer = getattr(pipeline, "trainer", None)
+        if trainer is None or not np.any(trainer.class_matrix):
+            raise BundleError(
+                "pipeline has an uninitialized class-hypervector matrix — "
+                "bundle export requires a trained pipeline")
+
+        arrays: Dict[str, np.ndarray] = {
+            "scaler.mean": np.asarray(scaler.mean, dtype=np.float64),
+            "scaler.std": np.asarray(scaler.std, dtype=np.float64),
+        }
+        info: Dict[str, Any] = {
+            "bundle_version": BUNDLE_VERSION,
+            "pipeline": type(pipeline).__name__,
+            "dim": int(pipeline.dim),
+            "num_classes": int(pipeline.num_classes),
+            "created_at": float(time.time()),
+            "git": git_info(),
+            "config": dict(config or {}),
+            "config_fingerprint": config_fingerprint(dict(config or {})),
+            "binarized": bool(binarize),
+            "quantize_bits": int(quantize_bits) if quantize_bits else None,
+        }
+
+        # -- encoder ---------------------------------------------------
+        encoder = pipeline.encoder
+        info["encoder"] = _encoder_spec(encoder)
+        if isinstance(encoder, RandomProjectionEncoder):
+            arrays["encoder.projection"] = np.asarray(encoder.projection,
+                                                      dtype=np.float64)
+        else:
+            arrays["encoder.basis"] = np.asarray(encoder.basis,
+                                                 dtype=np.float64)
+            arrays["encoder.phase"] = np.asarray(encoder.phase,
+                                                 dtype=np.float64)
+
+        # -- extractor (truncated CNN) ---------------------------------
+        extractor = getattr(pipeline, "extractor", None)
+        if extractor is not None:
+            model = extractor.model
+            info["extractor"] = {
+                "model": model.name,
+                "layer_index": int(extractor.layer_index),
+                "num_classes": int(model.num_classes),
+                "image_size": int(model.image_size),
+                "width_mult": float(getattr(model, "width_mult", 1.0)),
+                "feature_shape": [int(s) for s in extractor.feature_shape],
+            }
+            for name, value in model.state_dict().items():
+                arrays[f"model.{name}"] = np.asarray(value)
+        else:
+            info["extractor"] = None
+            info["image_size"] = int(getattr(pipeline, "num_features", 0))
+
+        # -- manifold FC -----------------------------------------------
+        manifold = getattr(pipeline, "manifold", None)
+        if manifold is not None:
+            weight = np.asarray(manifold.fc.weight.data, dtype=np.float64)
+            bias = (np.asarray(manifold.fc.bias.data, dtype=np.float64)
+                    if manifold.fc.bias is not None else None)
+            info["manifold"] = {
+                "feature_shape": [int(s) for s in manifold.feature_shape],
+                "out_features": int(manifold.out_features),
+                "pooling": bool(manifold.pooling),
+                "has_bias": bias is not None,
+            }
+            if quantize_bits:
+                arrays.update(quantize_symmetric(
+                    weight, quantize_bits).to_arrays("manifold.weight"))
+            else:
+                arrays["manifold.weight"] = weight
+            if bias is not None:
+                arrays["manifold.bias"] = bias
+        else:
+            info["manifold"] = None
+
+        # -- class hypervectors ----------------------------------------
+        classes = np.asarray(trainer.class_matrix, dtype=np.float64)
+        if binarize:
+            arrays["classes"] = hard_quantize(classes)
+        elif quantize_bits:
+            arrays.update(quantize_symmetric(
+                classes, quantize_bits).to_arrays("classes"))
+        else:
+            arrays["classes"] = classes
+
+        info["arrays"] = sorted(arrays)
+        return cls(arrays, info)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Atomically write the bundle archive (CRC manifest included)."""
+        save_state(
+            self.arrays, path,
+            meta={"kind": "model-bundle",
+                  "bundle_version": int(self.info["bundle_version"])},
+            sections={BUNDLE_SECTION: encode_non_finite(self.info)})
+
+    @classmethod
+    def load(cls, path: str, verify: bool = True) -> "ModelBundle":
+        """Read a bundle; raises :class:`BundleError` on any mismatch."""
+        try:
+            state, manifest = load_state_with_manifest(path, verify=verify)
+        except CheckpointError as exc:
+            raise BundleError(str(exc)) from exc
+        section = manifest_section(manifest, BUNDLE_SECTION)
+        if section is None:
+            raise BundleError(
+                f"{path!r} is not a model bundle (no {BUNDLE_SECTION!r} "
+                "manifest section) — it may be a training checkpoint")
+        info = decode_non_finite(section)
+        version = info.get("bundle_version")
+        if not isinstance(version, int) or version < 1:
+            raise BundleError(
+                f"bundle {path!r} has an invalid version {version!r}")
+        if version > BUNDLE_VERSION:
+            raise BundleError(
+                f"bundle {path!r} was written by a newer schema "
+                f"(version {version} > supported {BUNDLE_VERSION})")
+        return cls(state, info)
+
+    @classmethod
+    def verify(cls, path: str) -> Dict[str, Any]:
+        """CRC-enforced load + structural validation; returns ``info``.
+
+        Serving processes call this before answering requests: a torn
+        archive, a missing array, or a shape that contradicts the
+        provenance block all raise :class:`BundleError` here instead of
+        producing garbage predictions later.
+        """
+        bundle = cls.load(path, verify=True)
+        bundle.validate()
+        return bundle.info
+
+    # ------------------------------------------------------------------
+    # Structural validation & typed accessors
+    # ------------------------------------------------------------------
+    def _require(self, *names: str) -> None:
+        missing = [n for n in names if n not in self.arrays]
+        if missing:
+            raise BundleError(
+                f"bundle is missing required arrays {missing} for "
+                f"pipeline {self.info.get('pipeline')!r}")
+
+    def validate(self) -> None:
+        """Check that arrays exist and agree with the provenance block."""
+        info = self.info
+        dim = int(info["dim"])
+        num_classes = int(info["num_classes"])
+        self._require("scaler.mean", "scaler.std")
+
+        enc = info.get("encoder") or {}
+        in_features = int(enc.get("in_features", 0))
+        if enc.get("type") == "random_projection":
+            self._require("encoder.projection")
+            shape = tuple(self.arrays["encoder.projection"].shape)
+            if shape != (in_features, dim):
+                raise BundleError(
+                    f"encoder.projection has shape {shape}, provenance "
+                    f"says ({in_features}, {dim})")
+        elif enc.get("type") == "nonlinear":
+            self._require("encoder.basis", "encoder.phase")
+            shape = tuple(self.arrays["encoder.basis"].shape)
+            if shape != (in_features, dim):
+                raise BundleError(
+                    f"encoder.basis has shape {shape}, provenance says "
+                    f"({in_features}, {dim})")
+        else:
+            raise BundleError(f"unknown encoder type {enc.get('type')!r}")
+
+        classes = self.class_matrix()
+        if classes.shape != (num_classes, dim):
+            raise BundleError(
+                f"class matrix has shape {classes.shape}, provenance "
+                f"says ({num_classes}, {dim})")
+        if info.get("binarized") and not is_bipolar(classes):
+            raise BundleError(
+                "provenance claims a binarized class matrix but the "
+                "stored values are not bipolar")
+
+        manifold = info.get("manifold")
+        if manifold is not None:
+            weight = self.manifold_weight()
+            pooled = self._pooled_count(manifold)
+            expected = (int(manifold["out_features"]), pooled)
+            if weight.shape != expected:
+                raise BundleError(
+                    f"manifold weight has shape {weight.shape}, "
+                    f"provenance says {expected}")
+            if manifold.get("has_bias"):
+                self._require("manifold.bias")
+
+        extractor = info.get("extractor")
+        if extractor is not None:
+            if not any(name.startswith("model.") for name in self.arrays):
+                raise BundleError(
+                    "provenance declares an extractor but the bundle "
+                    "carries no model.* arrays")
+
+    @staticmethod
+    def _pooled_count(manifold_info: Dict[str, Any]) -> int:
+        c, h, w = (int(s) for s in manifold_info["feature_shape"])
+        if manifold_info.get("pooling"):
+            return c * (h // 2) * (w // 2)
+        return c * h * w
+
+    # -- accessors ------------------------------------------------------
+    def class_matrix(self) -> np.ndarray:
+        """Float class-hypervector matrix (dequantized when int8)."""
+        if "classes" in self.arrays:
+            return np.asarray(self.arrays["classes"], dtype=np.float64)
+        if "classes.q" in self.arrays:
+            return QuantizedTensor.from_arrays(
+                self.arrays, "classes").dequantize()
+        raise BundleError("bundle has no class-hypervector payload")
+
+    def manifold_weight(self) -> np.ndarray:
+        """Float manifold FC weight (dequantized when int8)."""
+        if "manifold.weight" in self.arrays:
+            return np.asarray(self.arrays["manifold.weight"],
+                              dtype=np.float64)
+        if "manifold.weight.q" in self.arrays:
+            return QuantizedTensor.from_arrays(
+                self.arrays, "manifold.weight").dequantize()
+        raise BundleError("bundle has no manifold weight payload")
+
+    def manifold_bias(self) -> Optional[np.ndarray]:
+        bias = self.arrays.get("manifold.bias")
+        return None if bias is None else np.asarray(bias, dtype=np.float64)
+
+    def model_state(self) -> Dict[str, np.ndarray]:
+        """The extractor CNN's state dict (``model.`` prefix stripped)."""
+        return {name[len("model."):]: value
+                for name, value in self.arrays.items()
+                if name.startswith("model.")}
+
+    @property
+    def binary_classes(self) -> bool:
+        """Whether the stored class matrix is strictly bipolar ±1."""
+        return ("classes" in self.arrays
+                and is_bipolar(np.asarray(self.arrays["classes"])))
+
+    def nbytes(self) -> int:
+        """Total payload size of all arrays in bytes."""
+        return int(sum(np.asarray(a).nbytes for a in self.arrays.values()))
+
+    def summary(self) -> List[str]:
+        """Human-readable description lines (CLI / logs)."""
+        info = self.info
+        lines = [
+            f"pipeline={info['pipeline']} dim={info['dim']} "
+            f"classes={info['num_classes']}",
+            f"config_fingerprint={info['config_fingerprint']} "
+            f"git={info.get('git', {}).get('short_sha', 'unknown')}",
+            f"binarized={info.get('binarized')} "
+            f"quantize_bits={info.get('quantize_bits')}",
+            f"arrays={len(self.arrays)} payload={self.nbytes()} B",
+        ]
+        return lines
+
+    def __repr__(self) -> str:
+        return (f"ModelBundle({self.info.get('pipeline')}, "
+                f"dim={self.info.get('dim')}, "
+                f"classes={self.info.get('num_classes')}, "
+                f"arrays={len(self.arrays)})")

@@ -1,0 +1,369 @@
+"""The serving inference engine: fused forward path over a model bundle.
+
+:class:`InferenceEngine` executes a :class:`repro.serve.bundle.ModelBundle`
+without reconstructing the training pipeline objects around it.  The
+float stages are replicated *op-for-op* against the training code so
+predictions are bit-exact with ``pipeline.predict``:
+
+* scaler: ``(x - mean) / std`` (same float64 ops as ``FeatureScaler``);
+* manifold: crop-to-even + reshape max-pool and ``pooled @ W.T + b`` —
+  numerically identical to ``F.max_pool2d(kernel=2)`` + ``F.linear``
+  (same operands, same BLAS calls, no autograd tape);
+* encoder: ``sign(V @ P)`` (or the nonlinear cos·sin map);
+* similarity: an exact replication of
+  :func:`repro.learn.mass.normalized_similarity` with the clamped class
+  norms **cached** (they are constant for a frozen bundle).
+
+When the bundle's class matrix is bipolar (``binarize=True`` export),
+the engine additionally builds a **bit-packed fast path**: class
+hypervectors and queries are packed to uint64 words
+(:func:`repro.hd.backend.pack_bipolar`) and classified with the
+XOR-popcount kernel (:func:`repro.hd.similarity.packed_classify`), which
+ranks identically to the float cosine path for bipolar operands —
+integer dots, no rounding.  :meth:`selfcheck` proves the agreement on
+random probes at load time.
+
+An LRU cache keyed by the sha1 of each sample's raw feature bytes
+memoizes encoded hypervectors, so repeated queries skip the
+projection GEMM entirely (``serve.cache.hits`` / ``serve.cache.misses``
+count the effectiveness).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..hd.backend import pack_bipolar
+from ..hd.hypervector import hard_quantize
+from ..hd.similarity import classify, packed_classify
+from ..models.extractor import FeatureExtractor
+from ..models.registry import create_model
+from ..telemetry import get_registry, span
+from ..utils.rng import fresh_rng
+from .bundle import BundleError, ModelBundle
+
+__all__ = ["InferenceEngine", "EngineSelfCheckError"]
+
+
+class EngineSelfCheckError(RuntimeError):
+    """The packed fast path disagreed with the reference kernel."""
+
+
+class _EncodedLRU:
+    """Thread-safe LRU of encoded hypervectors keyed by feature digest."""
+
+    def __init__(self, max_entries: int):
+        self.max_entries = int(max_entries)
+        self._data: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes) -> Optional[np.ndarray]:
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: bytes, value: np.ndarray) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def info(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._data), "hits": self.hits,
+                    "misses": self.misses,
+                    "max_entries": self.max_entries}
+
+
+class InferenceEngine:
+    """Fused, cache-accelerated inference over a frozen model bundle.
+
+    Parameters
+    ----------
+    bundle:
+        A validated :class:`ModelBundle` (``validate()`` is called here).
+    use_packed:
+        Force (True) or forbid (False) the bit-packed XOR-popcount path;
+        default ``None`` auto-enables it when the class matrix is
+        strictly bipolar.  Forcing it on a non-binary bundle raises.
+    cache_size:
+        LRU capacity (entries) for encoded hypervectors; 0 disables.
+    build_extractor:
+        Reconstruct the truncated CNN from the bundled weights so
+        :meth:`predict` accepts raw NCHW images.  Disable for servers
+        that only ever receive precomputed features.
+    selfcheck:
+        Run :meth:`selfcheck` at construction when the packed path is
+        active (cheap: a handful of random probes).
+    """
+
+    def __init__(self, bundle: ModelBundle,
+                 use_packed: Optional[bool] = None,
+                 cache_size: int = 256,
+                 build_extractor: bool = True,
+                 selfcheck: bool = True):
+        bundle.validate()
+        self.bundle = bundle
+        info = bundle.info
+        self.dim = int(info["dim"])
+        self.num_classes = int(info["num_classes"])
+        self.pipeline_name = str(info["pipeline"])
+
+        # -- scaler ----------------------------------------------------
+        self._mean = np.asarray(bundle.arrays["scaler.mean"],
+                                dtype=np.float64)
+        self._std = np.asarray(bundle.arrays["scaler.std"],
+                               dtype=np.float64)
+
+        # -- encoder ---------------------------------------------------
+        enc = info["encoder"]
+        self._encoder_type = enc["type"]
+        self._encoder_quantize = bool(enc.get("quantize", True))
+        if self._encoder_type == "random_projection":
+            self._projection = np.asarray(bundle.arrays["encoder.projection"],
+                                          dtype=np.float64)
+            self._basis = self._phase = None
+        else:
+            self._projection = None
+            self._basis = np.asarray(bundle.arrays["encoder.basis"],
+                                     dtype=np.float64)
+            self._phase = np.asarray(bundle.arrays["encoder.phase"],
+                                     dtype=np.float64)
+
+        # -- manifold --------------------------------------------------
+        manifold = info.get("manifold")
+        if manifold is not None:
+            self._manifold_shape = tuple(int(s)
+                                         for s in manifold["feature_shape"])
+            self._manifold_pooling = bool(manifold.get("pooling"))
+            self._manifold_weight = bundle.manifold_weight()
+            self._manifold_bias = bundle.manifold_bias()
+        else:
+            self._manifold_shape = None
+            self._manifold_weight = None
+            self._manifold_bias = None
+            self._manifold_pooling = False
+
+        # -- class matrix: float path (cached clamped norms) -----------
+        self._class_matrix = bundle.class_matrix()
+        norms = np.linalg.norm(self._class_matrix, axis=1)
+        self._class_norms = np.where(norms < 1e-12, 1.0, norms)
+
+        # -- class matrix: packed fast path ----------------------------
+        binary = bundle.binary_classes
+        if use_packed is None:
+            use_packed = binary and self._encoder_quantize \
+                and self._encoder_type == "random_projection"
+        if use_packed and not binary:
+            raise BundleError(
+                "use_packed=True requires a bipolar class matrix — "
+                "export the bundle with binarize=True")
+        if use_packed and not self._encoder_quantize:
+            raise BundleError(
+                "use_packed=True requires a quantizing encoder (the "
+                "queries must be bipolar to bit-pack); this bundle's "
+                "encoder emits continuous hypervectors")
+        self.use_packed = bool(use_packed)
+        self._packed_classes = (pack_bipolar(self._class_matrix)
+                                if self.use_packed else None)
+
+        # -- extractor -------------------------------------------------
+        self.extractor: Optional[FeatureExtractor] = None
+        ext = info.get("extractor")
+        if ext is not None and build_extractor:
+            model = create_model(ext["model"],
+                                 num_classes=int(ext["num_classes"]),
+                                 width_mult=float(ext["width_mult"]),
+                                 image_size=int(ext["image_size"]))
+            model.load_state_dict(bundle.model_state())
+            model.eval()
+            self.extractor = FeatureExtractor(model,
+                                              int(ext["layer_index"]))
+
+        self._cache = _EncodedLRU(cache_size) if cache_size > 0 else None
+        if selfcheck and self.use_packed:
+            self.selfcheck()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_path(cls, path: str, **kwargs: Any) -> "InferenceEngine":
+        """Verify + load a bundle archive and build an engine on it."""
+        return cls(ModelBundle.load(path, verify=True), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Fused forward stages (op-for-op replicas of the training code)
+    # ------------------------------------------------------------------
+    def _scale(self, raw_features: np.ndarray) -> np.ndarray:
+        return (raw_features - self._mean) / self._std
+
+    def _reduce(self, features: np.ndarray) -> np.ndarray:
+        if self._manifold_weight is None:
+            return features
+        c, h, w = self._manifold_shape
+        x = features.reshape(-1, c, h, w)
+        if self._manifold_pooling:
+            n = len(x)
+            x = x[:, :, :h // 2 * 2, :w // 2 * 2]
+            x = x.reshape(n, c, h // 2, 2, w // 2, 2).max(axis=(3, 5))
+        pooled = x.reshape(len(x), -1)
+        out = pooled @ self._manifold_weight.T
+        if self._manifold_bias is not None:
+            out = out + self._manifold_bias
+        return out
+
+    def _encode(self, reduced: np.ndarray) -> np.ndarray:
+        if self._encoder_type == "random_projection":
+            raw = reduced @ self._projection
+            return hard_quantize(raw) if self._encoder_quantize else raw
+        proj = reduced @ self._basis
+        raw = np.cos(proj + self._phase) * np.sin(proj)
+        return hard_quantize(raw) if self._encoder_quantize else raw
+
+    # ------------------------------------------------------------------
+    def encode_features(self, raw_features: np.ndarray) -> np.ndarray:
+        """Query hypervectors for ``(n, F)`` raw features (LRU-cached)."""
+        raw_features = np.atleast_2d(
+            np.asarray(raw_features, dtype=np.float64))
+        registry = get_registry()
+        if self._cache is None:
+            with span("serve.encode", nbytes=int(raw_features.nbytes)):
+                return self._encode(self._reduce(self._scale(raw_features)))
+
+        keys = [hashlib.sha1(np.ascontiguousarray(row).tobytes()).digest()
+                for row in raw_features]
+        encoded = np.empty((len(raw_features), self.dim), dtype=np.float64)
+        miss_idx = []
+        for i, key in enumerate(keys):
+            hit = self._cache.get(key)
+            if hit is None:
+                miss_idx.append(i)
+            else:
+                encoded[i] = hit
+        registry.inc("serve.cache.hits", len(keys) - len(miss_idx))
+        registry.inc("serve.cache.misses", len(miss_idx))
+        if miss_idx:
+            misses = raw_features[miss_idx]
+            with span("serve.encode", nbytes=int(misses.nbytes)):
+                fresh = self._encode(self._reduce(self._scale(misses)))
+            for j, i in enumerate(miss_idx):
+                encoded[i] = fresh[j]
+                self._cache.put(keys[i], fresh[j].copy())
+        return encoded
+
+    def similarities(self, encoded: np.ndarray) -> np.ndarray:
+        """Cosine similarities, bit-exact with ``normalized_similarity``.
+
+        The clamped class norms are precomputed at load time; the query
+        norms and the final division are performed with the exact
+        expression the trainer uses, so predictions agree bit-for-bit.
+        """
+        queries = np.atleast_2d(encoded)
+        query_norms = np.linalg.norm(queries, axis=1, keepdims=True)
+        query_norms = np.where(query_norms < 1e-12, 1.0, query_norms)
+        return ((queries @ self._class_matrix.T)
+                / (query_norms * self._class_norms[None, :]))
+
+    # ------------------------------------------------------------------
+    def predict_features(self, raw_features: np.ndarray) -> np.ndarray:
+        """Class predictions for ``(n, F)`` raw extractor features."""
+        registry = get_registry()
+        raw_features = np.atleast_2d(
+            np.asarray(raw_features, dtype=np.float64))
+        registry.inc("serve.requests")
+        registry.inc("serve.samples", len(raw_features))
+        with span("serve.predict", nbytes=int(raw_features.nbytes)):
+            encoded = self.encode_features(raw_features)
+            if self.use_packed:
+                packed = pack_bipolar(encoded)
+                return packed_classify(self._packed_classes, packed,
+                                       self.dim)
+            return np.asarray(self.similarities(encoded).argmax(axis=1))
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions for raw NCHW images (end-to-end)."""
+        images = np.asarray(images)
+        if self.extractor is not None:
+            raw = self.extractor.extract(images)
+        elif self.bundle.info.get("extractor") is None:
+            raw = images.reshape(len(images), -1)
+        else:
+            raise BundleError(
+                "engine was built with build_extractor=False; "
+                "use predict_features with precomputed features")
+        return self.predict_features(raw)
+
+    def accuracy_features(self, raw_features: np.ndarray,
+                          labels: np.ndarray) -> float:
+        return float((self.predict_features(raw_features)
+                      == np.asarray(labels)).mean())
+
+    # ------------------------------------------------------------------
+    def selfcheck(self, probes: int = 32, seed: int = 0) -> bool:
+        """Prove the packed path agrees with the reference kernels.
+
+        Draws random bipolar probe hypervectors and checks (1) the
+        XOR-popcount classifier returns the same labels as the float
+        dot-product :func:`repro.hd.similarity.classify`, and (2) the
+        engine's cached-norm cosine path agrees as well (for bipolar
+        class matrices all three rank identically).  Raises
+        :class:`EngineSelfCheckError` on any disagreement.
+        """
+        if not self.use_packed:
+            return True
+        rng = fresh_rng((seed, "serve-selfcheck"))
+        hvs = np.where(rng.random((probes, self.dim)) < 0.5, -1.0, 1.0)
+        packed = pack_bipolar(hvs)
+        got = packed_classify(self._packed_classes, packed, self.dim)
+        want_dot = classify(self._class_matrix, hvs, metric="dot")
+        want_cos = np.asarray(self.similarities(hvs).argmax(axis=1))
+        if not np.array_equal(got, want_dot):
+            raise EngineSelfCheckError(
+                f"packed XOR-popcount disagrees with float dot on "
+                f"{int((got != want_dot).sum())}/{probes} probes")
+        if not np.array_equal(got, want_cos):
+            raise EngineSelfCheckError(
+                f"packed XOR-popcount disagrees with the cosine path on "
+                f"{int((got != want_cos).sum())}/{probes} probes")
+        return True
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        if self._cache is None:
+            return {"entries": 0, "hits": 0, "misses": 0, "max_entries": 0}
+        return self._cache.info()
+
+    def describe(self) -> Dict[str, Any]:
+        """Engine facts for /healthz and logs."""
+        return {
+            "pipeline": self.pipeline_name,
+            "dim": self.dim,
+            "num_classes": self.num_classes,
+            "packed": self.use_packed,
+            "encoder": self._encoder_type,
+            "has_extractor": self.extractor is not None,
+            "has_manifold": self._manifold_weight is not None,
+            "cache": self.cache_info(),
+            "config_fingerprint": self.bundle.info.get(
+                "config_fingerprint"),
+        }
+
+    def __repr__(self) -> str:
+        return (f"InferenceEngine({self.pipeline_name}, dim={self.dim}, "
+                f"classes={self.num_classes}, packed={self.use_packed})")

@@ -1,0 +1,255 @@
+"""Stdlib HTTP model server: /predict, /healthz, /metrics.
+
+:class:`ModelServer` wires an :class:`~repro.serve.engine.InferenceEngine`
+behind a :class:`~repro.serve.batching.MicroBatcher` and exposes it over
+``http.server`` (zero dependencies; ``ThreadingHTTPServer`` gives one
+handler thread per connection, which is exactly what feeds the
+micro-batcher concurrent submits to coalesce).
+
+Endpoints
+---------
+``POST /predict``
+    Body ``{"features": [[...], ...]}`` (one row per sample; a single
+    flat list is treated as one sample).  Response
+    ``{"labels": [...], "model": <config fingerprint>}``.
+    Degradation mapping: admission-control rejection → **503** with
+    ``Retry-After``; per-request deadline expiry → **504**; malformed
+    input → **400**; engine failure → **500**.
+``GET /healthz``
+    Engine + batcher + shedder facts as JSON (status ``ok`` /
+    ``shedding``).
+``GET /metrics``
+    Prometheus text exposition of the process-global telemetry registry
+    (the same counters/histograms the batcher and engine populate).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..reliability.degrade import (DeadlineExceededError, LoadShedder,
+                                   OverloadShedError)
+from ..telemetry import get_registry, prometheus_text
+from .batching import MicroBatcher
+from .engine import InferenceEngine
+
+__all__ = ["ModelServer", "RequestError"]
+
+
+class RequestError(ValueError):
+    """Client-side error (malformed JSON / wrong feature shape): HTTP 400."""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ModelServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_HTTPServer"
+
+    # -- helpers -------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Access logs go to the metrics registry, not stderr (tests and
+        # benchmarks would otherwise drown in per-request lines).
+        get_registry().inc("serve.http.requests")
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        app = self.server.app
+        if self.path == "/healthz":
+            self._send_json(200, app.health())
+        elif self.path == "/metrics":
+            self._send_text(200, prometheus_text())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        app = self.server.app
+        if self.path != "/predict":
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        registry = get_registry()
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            features = _parse_features(self.rfile.read(length))
+            labels = app.predict(features)
+        except RequestError as exc:
+            registry.inc("serve.http.bad_request")
+            self._send_json(400, {"error": str(exc)})
+        except OverloadShedError as exc:
+            registry.inc("serve.http.shed")
+            self._send_json(503, {"error": str(exc), "retryable": True},
+                            headers={"Retry-After": "1"})
+        except DeadlineExceededError as exc:
+            registry.inc("serve.http.deadline")
+            self._send_json(504, {"error": str(exc), "retryable": True})
+        except Exception as exc:  # engine failure
+            registry.inc("serve.http.internal_error")
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_json(200, {
+                "labels": [int(label) for label in labels],
+                "model": app.engine.bundle.info.get("config_fingerprint"),
+            })
+
+
+def _parse_features(body: bytes) -> np.ndarray:
+    """Decode and shape-check the /predict request body."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RequestError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "features" not in payload:
+        raise RequestError('request body must be {"features": [...]}')
+    try:
+        features = np.asarray(payload["features"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"features are not numeric: {exc}") from exc
+    if features.ndim == 1:
+        features = features[None, :]
+    if features.ndim != 2 or features.size == 0:
+        raise RequestError(
+            f"features must be a (n, F) matrix, got shape "
+            f"{features.shape}")
+    if not np.isfinite(features).all():
+        raise RequestError("features contain NaN/Inf")
+    return features
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: "ModelServer"
+
+
+class ModelServer:
+    """HTTP front end around an engine + micro-batcher.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`InferenceEngine` to serve.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (tests).
+    max_batch_size, max_latency_ms, workers:
+        Micro-batcher tuning (see :class:`MicroBatcher`).
+    high_watermark:
+        Queue depth at which admission control starts shedding
+        (hysteresis down to ``high_watermark // 2``); ``None`` disables
+        shedding.
+    timeout_s:
+        Default per-request deadline inside the batcher.
+    """
+
+    def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
+                 port: int = 0, max_batch_size: int = 32,
+                 max_latency_ms: float = 5.0, workers: int = 2,
+                 high_watermark: Optional[int] = 128,
+                 timeout_s: Optional[float] = 5.0):
+        self.engine = engine
+        self.shedder = (LoadShedder(high_watermark)
+                        if high_watermark else None)
+        self.batcher = MicroBatcher(
+            engine.predict_features, max_batch_size=max_batch_size,
+            max_latency_ms=max_latency_ms, workers=workers,
+            shedder=self.shedder, default_timeout_s=timeout_s)
+        self._httpd = _HTTPServer((host, port), _Handler)
+        self._httpd.app = self
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Actual ``(host, port)`` after binding (resolves ``port=0``)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def predict(self, features: np.ndarray) -> list:
+        """Route the request through the micro-batcher (blocking).
+
+        All rows of a multi-sample request are enqueued atomically so
+        the workers can batch them together (and with rows from other
+        concurrent connections).
+        """
+        return self.batcher.submit_all(features)
+
+    def health(self) -> Dict[str, Any]:
+        shedding = bool(self.shedder is not None and self.shedder.shedding)
+        return {
+            "status": "shedding" if shedding else "ok",
+            "engine": self.engine.describe(),
+            "batcher": {"depth": self.batcher.depth,
+                        **self.batcher.stats},
+            "shedder": (None if self.shedder is None
+                        else {"high": self.shedder.high_watermark,
+                              "low": self.shedder.low_watermark,
+                              "shedding": shedding,
+                              **self.shedder.stats}),
+        }
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ModelServer":
+        """Serve in a background thread; returns self (fluent)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="model-server",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (CLI entry point)."""
+        self._started = True
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Shut down the HTTP listener and drain the batcher."""
+        if self._started:
+            # shutdown() synchronizes with a serve_forever loop; calling
+            # it on a never-served listener would block forever.
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        self.batcher.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

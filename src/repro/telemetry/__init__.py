@@ -54,7 +54,7 @@ from .exporters import (NONFINITE_KEY, collect_events, decode_non_finite,
                         sanitize_metric_name)
 from .ledger import (DEFAULT_LEDGER_DIR, LEDGER_SCHEMA_VERSION, RunLedger,
                      RunRecord, config_fingerprint, diff_records,
-                     diff_report, env_fingerprint, git_info)
+                     diff_report, env_digest, env_fingerprint, git_info)
 from .metrics import (DEFAULT_QUANTILES, Counter, Gauge, Histogram,
                       MetricsRegistry, P2Quantile, get_registry,
                       set_registry, use_registry)
@@ -86,7 +86,7 @@ __all__ = [
     "format_table", "render_report", "stage_breakdown",
     # ledger
     "RunRecord", "RunLedger", "LEDGER_SCHEMA_VERSION",
-    "DEFAULT_LEDGER_DIR", "git_info", "env_fingerprint",
+    "DEFAULT_LEDGER_DIR", "git_info", "env_fingerprint", "env_digest",
     "config_fingerprint", "diff_records", "diff_report",
     # regress
     "GateSpec", "CheckResult", "GateReport", "mad", "rolling_baseline",

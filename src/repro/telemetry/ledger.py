@@ -46,7 +46,8 @@ from .tracing import Tracer, get_tracer
 
 __all__ = ["RunRecord", "RunLedger", "LEDGER_SCHEMA_VERSION",
            "DEFAULT_LEDGER_DIR", "git_info", "env_fingerprint",
-           "config_fingerprint", "diff_records", "diff_report"]
+           "env_digest", "config_fingerprint", "diff_records",
+           "diff_report"]
 
 #: Version stamped into every ledger record.
 LEDGER_SCHEMA_VERSION = 1
@@ -127,6 +128,24 @@ def env_fingerprint() -> Dict[str, object]:
     }
 
 
+def env_digest(env: Optional[Dict[str, object]] = None) -> str:
+    """Stable 12-hex-char digest of an environment fingerprint.
+
+    Hashes the :func:`env_fingerprint` dict (or the current one when
+    ``env`` is None) canonically, giving baseline queries a compact
+    equality key: two runs are perf-comparable only when interpreter,
+    numpy + BLAS backend, CPU count and platform all match.  The
+    regression gate keys its baselines on this **in addition to** the
+    pipeline + config fingerprint, so a ledger carried across machines
+    bootstraps a fresh baseline instead of gating against alien timings.
+    """
+    if env is None:
+        env = env_fingerprint()
+    canonical = json.dumps(encode_non_finite(dict(env)), sort_keys=True,
+                           separators=(",", ":"), allow_nan=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
 def config_fingerprint(config: Dict[str, object]) -> str:
     """Stable 12-hex-char digest of a run configuration dict.
 
@@ -196,6 +215,18 @@ class RunRecord:
         self.diagnostics = dict(diagnostics or {})
         #: Unknown keys read from disk (schema evolution; round-tripped).
         self.extra = dict(extra or {})
+
+    @property
+    def env_digest(self) -> str:
+        """Digest of this record's environment fingerprint (see
+        :func:`env_digest`)."""
+        return env_digest(self.env)
+
+    @property
+    def compacted(self) -> bool:
+        """Whether :meth:`RunLedger.compact` stripped this record's full
+        metrics/diagnostics snapshots."""
+        return bool(self.extra.get("compacted"))
 
     # ------------------------------------------------------------------
     @classmethod
@@ -391,16 +422,68 @@ class RunLedger:
     def query(self, pipeline: Optional[str] = None,
               config_fingerprint: Optional[str] = None,
               kind: Optional[str] = None,
+              env_digest: Optional[str] = None,
               limit: Optional[int] = None) -> List[RunRecord]:
-        """Filtered records (append order); ``limit`` keeps the newest."""
+        """Filtered records (append order); ``limit`` keeps the newest.
+
+        ``env_digest`` restricts to runs whose environment fingerprint
+        hashes to the given digest (see :func:`env_digest`) — the key
+        the regression gate uses so cross-machine records never serve as
+        perf baselines for each other.
+        """
         out = [r for r in self.records()
                if (pipeline is None or r.pipeline == pipeline)
                and (config_fingerprint is None
                     or r.config_fingerprint == config_fingerprint)
-               and (kind is None or r.kind == kind)]
+               and (kind is None or r.kind == kind)
+               and (env_digest is None or r.env_digest == env_digest)]
         if limit is not None:
             out = out[-limit:]
         return out
+
+    def compact(self, window: int = 10) -> int:
+        """Strip bulky snapshots from records outside the gate window.
+
+        The regression gate only ever reads the newest ``window`` runs
+        per ``(pipeline, config_fingerprint, kind)`` group, yet every
+        record carries the *full* metrics registry snapshot and the HD
+        diagnostics — by far the heaviest fields.  ``compact`` drops
+        ``metrics`` and ``diagnostics`` from records older than the
+        window (per group), keeps every scalar the gate and the series
+        APIs use (``stage_times``, accuracies, ``wall_s``, ``history``,
+        provenance), marks them with ``extra["compacted"] = True``, and
+        rewrites the ledger atomically.
+
+        Returns the number of records compacted in this call.  The
+        operation is idempotent and append-order-preserving.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        records = self.records()
+        if not records:
+            return 0
+        # Newest `window` run_ids per group stay intact.
+        groups: Dict[tuple, List[str]] = {}
+        for record in records:
+            key = (record.pipeline, record.config_fingerprint, record.kind)
+            groups.setdefault(key, []).append(record.run_id)
+        keep = {run_id
+                for ids in groups.values() for run_id in ids[-window:]}
+        compacted = 0
+        for record in records:
+            if record.run_id in keep or record.compacted:
+                continue
+            if record.metrics or record.diagnostics:
+                record.metrics = {}
+                record.diagnostics = {}
+                record.extra["compacted"] = True
+                compacted += 1
+        if compacted:
+            lines = [json.dumps(encode_non_finite(r.to_dict()),
+                                sort_keys=True, allow_nan=False)
+                     for r in records]
+            _atomic_write_text(self.path, "\n".join(lines) + "\n")
+        return compacted
 
     def last(self, pipeline: Optional[str] = None,
              config_fingerprint: Optional[str] = None

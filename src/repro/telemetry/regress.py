@@ -221,20 +221,30 @@ def gate_run(ledger: RunLedger, record: RunRecord,
              stage_spec: GateSpec = DEFAULT_STAGE_SPEC,
              accuracy_spec: GateSpec = DEFAULT_ACCURACY_SPEC,
              wall_spec: GateSpec = DEFAULT_WALL_SPEC,
-             stages: Optional[Sequence[str]] = None) -> GateReport:
+             stages: Optional[Sequence[str]] = None,
+             match_env: bool = True) -> GateReport:
     """Gate a fresh ``record`` against the ledger's history.
 
     Baselines are the prior runs of the **same pipeline with the same
-    config fingerprint** (comparing a D=400 smoke run against a D=3000
-    run would be meaningless).  Checks every stage present in the record
-    (or the explicit ``stages``), ``final_accuracy``/``test_accuracy``
-    when present, and ``wall_s``.  Call *before* appending the record so
-    the current run does not dilute its own baseline.
+    config fingerprint on the same environment** (comparing a D=400
+    smoke run against a D=3000 run — or a laptop run against a CI
+    runner — would be meaningless).  ``match_env=True`` (default) keys
+    the baseline on the record's :func:`~repro.telemetry.ledger
+    .env_digest` in addition to the config fingerprint; a ledger carried
+    to a new machine then bootstraps a fresh baseline
+    (``insufficient_history`` passes) instead of failing on alien
+    timings.  Pass ``match_env=False`` for the legacy cross-environment
+    comparison.  Checks every stage present in the record (or the
+    explicit ``stages``), ``final_accuracy``/``test_accuracy`` when
+    present, and ``wall_s``.  Call *before* appending the record so the
+    current run does not dilute its own baseline.
     """
     report = GateReport(pipeline=record.pipeline,
                         config_fingerprint=record.config_fingerprint)
-    history = ledger.query(pipeline=record.pipeline,
-                           config_fingerprint=record.config_fingerprint)
+    history = ledger.query(
+        pipeline=record.pipeline,
+        config_fingerprint=record.config_fingerprint,
+        env_digest=record.env_digest if match_env else None)
     # Exclude the record itself if the caller appended first.
     history = [r for r in history if r.run_id != record.run_id]
 

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite (serving helpers)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import BUNDLE_VERSION, ModelBundle
+from repro.telemetry import config_fingerprint, git_info
+from repro.utils.rng import fresh_rng
+
+
+def _synthetic_bundle(dim=512, features=32, classes=6, seed=0,
+                      binary=True):
+    """Structurally-valid in-memory bundle with random weights.
+
+    Mirrors ``scripts/serve_bench.synthetic_bundle`` (tests must not
+    import from scripts): a bipolar random projection + bipolar class
+    matrix exercises exactly the packed fast path's code shape.  With
+    ``binary=False`` the class matrix is Gaussian, which forces the
+    engine onto the float cosine path.
+    """
+    rng = fresh_rng((seed, "serve-test-bundle"))
+    projection = np.where(rng.random((features, dim)) < 0.5, -1.0, 1.0)
+    if binary:
+        class_matrix = np.where(rng.random((classes, dim)) < 0.5, -1.0, 1.0)
+    else:
+        class_matrix = rng.standard_normal((classes, dim))
+    config = {"synthetic": True, "dim": dim, "features": features,
+              "classes": classes, "seed": seed, "binary": binary}
+    arrays = {
+        "scaler.mean": np.zeros(features),
+        "scaler.std": np.ones(features),
+        "encoder.projection": projection,
+        "classes": class_matrix,
+    }
+    info = {
+        "bundle_version": BUNDLE_VERSION,
+        "pipeline": "SyntheticHD",
+        "dim": dim, "num_classes": classes,
+        "created_at": float(time.time()),
+        "git": git_info(),
+        "config": config,
+        "config_fingerprint": config_fingerprint(config),
+        "binarized": bool(binary), "quantize_bits": None,
+        "encoder": {"type": "random_projection", "in_features": features,
+                    "dim": dim, "quantize": True},
+        "extractor": None, "manifold": None,
+        "arrays": sorted(arrays),
+    }
+    return ModelBundle(arrays, info)
+
+
+@pytest.fixture
+def synthetic_bundle():
+    """Factory fixture: ``synthetic_bundle(dim=..., ...)`` → ModelBundle."""
+    return _synthetic_bundle

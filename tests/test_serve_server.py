@@ -1,0 +1,194 @@
+"""HTTP model server: routing, error mapping, e2e pipeline parity."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.learn import VanillaHD
+from repro.serve import InferenceEngine, ModelBundle, ModelServer
+
+
+def post(url, payload, timeout=30):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def get(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+class GatedEngine:
+    """Engine façade whose predict blocks until released (503/504 tests)."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.bundle = engine.bundle
+        self.gate = threading.Event()
+
+    def predict_features(self, features):
+        self.gate.wait(10.0)
+        return self.engine.predict_features(features)
+
+    def describe(self):
+        return self.engine.describe()
+
+
+class TestRoutes:
+    @pytest.fixture()
+    def server(self, synthetic_bundle):
+        engine = InferenceEngine(synthetic_bundle(seed=21))
+        with ModelServer(engine, port=0, max_batch_size=16,
+                         max_latency_ms=2.0, workers=2) as server:
+            yield server
+
+    def test_predict_matrix_and_flat(self, server):
+        rng = np.random.default_rng(21)
+        features = rng.standard_normal((12, 32))
+        out = post(server.url + "/predict",
+                   {"features": features.tolist()})
+        expected = [int(v) for v in
+                    server.engine.predict_features(features)]
+        assert out["labels"] == expected
+        assert out["model"] == server.engine.bundle.info[
+            "config_fingerprint"]
+        # A flat list is one sample.
+        single = post(server.url + "/predict",
+                      {"features": features[0].tolist()})
+        assert single["labels"] == expected[:1]
+
+    def test_healthz(self, server):
+        health = json.loads(get(server.url + "/healthz"))
+        assert health["status"] == "ok"
+        assert health["engine"]["packed"]
+        assert "depth" in health["batcher"]
+        assert health["shedder"]["high"] == 128
+
+    def test_metrics_exposition(self, server):
+        rng = np.random.default_rng(22)
+        post(server.url + "/predict",
+             {"features": rng.standard_normal((4, 32)).tolist()})
+        metrics = get(server.url + "/metrics").replace(".", "_")
+        assert "serve_batcher_completed" in metrics
+        assert "serve_batcher_batch_size" in metrics
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    @pytest.mark.parametrize("payload", [
+        {"features": "nope"},
+        {"wrong_key": [[1.0]]},
+        {"features": []},
+        {"features": [[1.0, float("nan")] + [0.0] * 30]},
+    ])
+    def test_malformed_request_400(self, server, payload):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server.url + "/predict", payload)
+        assert excinfo.value.code == 400
+
+    def test_invalid_json_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/predict", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestDegradationMapping:
+    def test_overload_maps_to_503(self, synthetic_bundle):
+        gated = GatedEngine(InferenceEngine(synthetic_bundle(seed=23)))
+        server = ModelServer(gated, port=0, max_batch_size=4,
+                             max_latency_ms=1.0, workers=1,
+                             high_watermark=1, timeout_s=10.0)
+        server.start()
+        try:
+            rng = np.random.default_rng(23)
+            codes = []
+
+            def fire():
+                try:
+                    post(server.url + "/predict",
+                         {"features": rng.standard_normal(32).tolist()})
+                    codes.append(200)
+                except urllib.error.HTTPError as exc:
+                    codes.append(exc.code)
+                    if exc.code == 503:
+                        assert exc.headers.get("Retry-After") == "1"
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for t in threads:
+                t.start()
+            import time
+            time.sleep(0.1)
+            gated.gate.set()
+            for t in threads:
+                t.join()
+            assert 503 in codes, f"no shed response in {codes}"
+            health = json.loads(get(server.url + "/healthz"))
+            assert health["shedder"]["shed"] >= 1
+        finally:
+            gated.gate.set()
+            server.stop()
+
+    def test_deadline_maps_to_504(self, synthetic_bundle):
+        gated = GatedEngine(InferenceEngine(synthetic_bundle(seed=24)))
+        server = ModelServer(gated, port=0, workers=1,
+                             high_watermark=None, timeout_s=0.05)
+        server.start()
+        try:
+            rng = np.random.default_rng(24)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(server.url + "/predict",
+                     {"features": rng.standard_normal(32).tolist()})
+            assert excinfo.value.code == 504
+        finally:
+            gated.gate.set()
+            server.stop()
+
+
+class TestLifecycle:
+    def test_stop_without_start_is_safe(self, synthetic_bundle):
+        server = ModelServer(InferenceEngine(synthetic_bundle()), port=0)
+        server.stop()  # must not deadlock or raise
+
+    def test_context_manager_releases_port(self, synthetic_bundle):
+        engine = InferenceEngine(synthetic_bundle())
+        with ModelServer(engine, port=0) as server:
+            port = server.address[1]
+            assert port > 0
+        # Rebinding the same port proves the listener closed.
+        with ModelServer(engine, port=port) as server2:
+            assert server2.address[1] == port
+
+
+class TestEndToEnd:
+    def test_served_predictions_match_pipeline_bitexact(self):
+        """Satellite acceptance: /predict == pipeline.predict exactly."""
+        x_tr, y_tr, x_te, _ = make_dataset(num_classes=3, num_train=60,
+                                           num_test=40, seed=31)
+        pipeline = VanillaHD(num_classes=3, image_size=x_tr.shape[-1],
+                             dim=256, seed=31)
+        pipeline.fit(x_tr, y_tr, epochs=2)
+        bundle = ModelBundle.from_pipeline(pipeline)
+        engine = InferenceEngine(bundle)
+        flat = np.asarray(x_te).reshape(len(x_te), -1)
+        with ModelServer(engine, port=0, max_batch_size=16,
+                         max_latency_ms=2.0, workers=2) as server:
+            served = []
+            for start in range(0, len(flat), 16):
+                out = post(server.url + "/predict",
+                           {"features": flat[start:start + 16].tolist()})
+                served.extend(out["labels"])
+        expected = [int(v) for v in pipeline.predict(x_te)]
+        assert served == expected

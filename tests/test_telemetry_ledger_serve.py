@@ -1,0 +1,146 @@
+"""Ledger extensions riding with the serving subsystem.
+
+Covers the environment-keyed baselines (:func:`env_digest`,
+``RunLedger.query(env_digest=...)``, ``gate_run(match_env=...)``) and
+ledger compaction (:meth:`RunLedger.compact`).
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import env_digest, env_fingerprint
+from repro.telemetry.ledger import RunLedger, RunRecord
+from repro.telemetry.regress import gate_run
+
+
+def make_record(pipeline="nshd", extract=1.0, acc=0.8, env=None, **kwargs):
+    kwargs.setdefault("config", {"dim": 400, "seed": 0})
+    kwargs.setdefault("metrics", {"m": {"type": "counter", "value": 1.0}})
+    kwargs.setdefault("diagnostics", {"final": {"drift_total": 0.2}})
+    return RunRecord(
+        pipeline=pipeline, seed=0, wall_s=2.0,
+        stage_times={"extract": extract, "encode": 0.01},
+        final_accuracy=acc, test_accuracy=acc - 0.1,
+        history={"train_acc": [0.5, acc]},
+        env=env, **kwargs)
+
+
+ALIEN_ENV = {"python": "3.9.1", "implementation": "CPython",
+             "numpy": "1.21.0", "blas": "openblas", "cpu_count": 2,
+             "platform": "darwin", "machine": "arm64",
+             "system": "Darwin 21.0"}
+
+
+class TestEnvDigest:
+    def test_stable_and_order_independent(self):
+        env = env_fingerprint()
+        shuffled = dict(reversed(list(env.items())))
+        assert env_digest(env) == env_digest(shuffled)
+        assert len(env_digest(env)) == 12
+
+    def test_differs_across_environments(self):
+        assert env_digest() != env_digest(ALIEN_ENV)
+
+    def test_record_property_and_default(self):
+        record = make_record()
+        assert record.env_digest == env_digest()  # captured current env
+        alien = make_record(env=ALIEN_ENV)
+        assert alien.env_digest == env_digest(ALIEN_ENV)
+
+    def test_query_filters_on_env(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        ledger.append(make_record())
+        ledger.append(make_record(env=ALIEN_ENV))
+        ledger.append(make_record())
+        assert len(ledger.query(pipeline="nshd")) == 3
+        here = ledger.query(pipeline="nshd", env_digest=env_digest())
+        assert len(here) == 2
+        assert all(r.env_digest == env_digest() for r in here)
+
+
+class TestGateEnvKeying:
+    def test_alien_history_bootstraps_instead_of_gating(self, tmp_path):
+        """5 fast alien runs + a slow local run: match_env=True must
+        bootstrap (no baseline on this env); match_env=False would
+        compare and fail."""
+        ledger = RunLedger(str(tmp_path))
+        for _ in range(5):
+            ledger.append(make_record(extract=0.1, env=ALIEN_ENV))
+        slow = make_record(extract=10.0)
+
+        keyed = gate_run(ledger, slow)
+        assert keyed.passed
+        assert any(r.status == "insufficient_history"
+                   for r in keyed.results)
+
+        legacy = gate_run(ledger, slow, match_env=False)
+        assert not legacy.passed
+
+    def test_same_env_history_still_gates(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for _ in range(5):
+            ledger.append(make_record(extract=0.1))
+        assert not gate_run(ledger, make_record(extract=10.0)).passed
+        assert gate_run(ledger, make_record(extract=0.1)).passed
+
+
+class TestCompact:
+    def test_keeps_window_strips_older(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for i in range(7):
+            ledger.append(make_record(extract=0.1 + 0.001 * i))
+        stripped = ledger.compact(window=3)
+        assert stripped == 4
+        records = ledger.records()
+        assert len(records) == 7  # no record is ever dropped
+        old, new = records[:4], records[3 + 1:]
+        assert all(r.compacted and not r.metrics and not r.diagnostics
+                   for r in old)
+        assert all(not r.compacted and r.metrics for r in new)
+        # Scalars the gate reads survive compaction.
+        assert all(r.stage_times["extract"] > 0 and r.wall_s == 2.0
+                   and r.final_accuracy == 0.8 for r in old)
+
+    def test_idempotent_and_counts_only_new_work(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for _ in range(5):
+            ledger.append(make_record())
+        assert ledger.compact(window=2) == 3
+        assert ledger.compact(window=2) == 0
+
+    def test_groups_are_independent(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for _ in range(4):
+            ledger.append(make_record(pipeline="nshd"))
+        ledger.append(make_record(pipeline="vanillahd"))
+        assert ledger.compact(window=3) == 1  # only nshd's oldest
+        vanilla = ledger.query(pipeline="vanillahd")
+        assert not vanilla[0].compacted
+
+    def test_compacted_ledger_still_gates(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for _ in range(5):
+            ledger.append(make_record(extract=0.1))
+        ledger.compact(window=3)
+        assert not gate_run(ledger, make_record(extract=10.0)).passed
+        assert gate_run(ledger, make_record(extract=0.1)).passed
+
+    def test_shrinks_file_and_rejects_bad_window(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for _ in range(6):
+            ledger.append(make_record(
+                metrics={f"m{i}": {"type": "counter", "value": float(i)}
+                         for i in range(50)}))
+        import os
+        before = os.path.getsize(ledger.path)
+        ledger.compact(window=1)
+        assert os.path.getsize(ledger.path) < before
+        with open(ledger.path) as handle:
+            for line in handle:
+                json.loads(line)  # still valid JSONL
+        with pytest.raises(ValueError, match="window"):
+            ledger.compact(window=0)
+
+    def test_empty_ledger_is_noop(self, tmp_path):
+        assert RunLedger(str(tmp_path)).compact() == 0
