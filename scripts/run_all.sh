@@ -21,4 +21,7 @@ bash scripts/check_regression.sh
 # Serving subsystem: HTTP round-trip, packed/float agreement, overload
 # shedding, and the >= 3x batched-speedup gate (see scripts/check_serve.sh).
 bash scripts/check_serve.sh
+# Stage-graph parity: train -> freeze -> checkpoint -> serve agreement on
+# a freshly trained model (see scripts/check_stage_parity.sh).
+bash scripts/check_stage_parity.sh
 echo "Results tables are under results/, run ledger under results/ledger/"

@@ -87,6 +87,25 @@ class RandomProjectionEncoder(Encoder):
         self.projection = random_bipolar(in_features, dim, rng)
         self.quantize = quantize
 
+    @classmethod
+    def from_arrays(cls, projection: np.ndarray,
+                    quantize: bool = True) -> "RandomProjectionEncoder":
+        """Rebuild an encoder around a stored projection matrix.
+
+        Used by frozen serving/checkpoint stages: no RNG is touched, the
+        stored ``(F, D)`` matrix is adopted verbatim so encodings are
+        bit-identical to the training-time encoder.
+        """
+        projection = np.asarray(projection, dtype=np.float64)
+        if projection.ndim != 2:
+            raise ValueError("projection must be a 2-D (F, D) matrix")
+        encoder = cls.__new__(cls)
+        Encoder.__init__(encoder, int(projection.shape[0]),
+                         int(projection.shape[1]))
+        encoder.projection = projection
+        encoder.quantize = bool(quantize)
+        return encoder
+
     def encode(self, features: np.ndarray) -> np.ndarray:
         features = self._check(features)
         with self._telemetry_span(features):
@@ -135,6 +154,28 @@ class NonlinearEncoder(Encoder):
         self.basis = random_gaussian(in_features, dim, rng) * bandwidth
         self.phase = rng.uniform(0.0, 2.0 * np.pi, size=dim)
         self.quantize = quantize
+
+    @classmethod
+    def from_arrays(cls, basis: np.ndarray, phase: np.ndarray,
+                    quantize: bool = False) -> "NonlinearEncoder":
+        """Rebuild an encoder around stored basis/phase arrays.
+
+        Frozen counterpart of the randomized constructor — adopts the
+        stored ``(F, D)`` basis and ``(D,)`` phase verbatim (no RNG) so
+        encodings are bit-identical to the training-time encoder.
+        """
+        basis = np.asarray(basis, dtype=np.float64)
+        phase = np.asarray(phase, dtype=np.float64)
+        if basis.ndim != 2:
+            raise ValueError("basis must be a 2-D (F, D) matrix")
+        if phase.shape != (basis.shape[1],):
+            raise ValueError("phase must have shape (D,)")
+        encoder = cls.__new__(cls)
+        Encoder.__init__(encoder, int(basis.shape[0]), int(basis.shape[1]))
+        encoder.basis = basis
+        encoder.phase = phase
+        encoder.quantize = bool(quantize)
+        return encoder
 
     def encode(self, features: np.ndarray) -> np.ndarray:
         features = self._check(features)

@@ -24,6 +24,7 @@ from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
 import numpy as np
 
 from ..data.loader import one_hot
+from ..pipeline.stages import cosine_similarities
 from ..telemetry import clock, get_registry, span
 from .centroid import train_centroids
 
@@ -36,13 +37,13 @@ __all__ = ["normalized_similarity", "MassTrainer"]
 
 def normalized_similarity(class_matrix: np.ndarray,
                           queries: np.ndarray) -> np.ndarray:
-    """Cosine similarity δ(M, H) used by the retraining rules, ``(n, k)``."""
-    queries = np.atleast_2d(queries)
-    class_norms = np.linalg.norm(class_matrix, axis=1)
-    class_norms = np.where(class_norms < 1e-12, 1.0, class_norms)
-    query_norms = np.linalg.norm(queries, axis=1, keepdims=True)
-    query_norms = np.where(query_norms < 1e-12, 1.0, query_norms)
-    return (queries @ class_matrix.T) / (query_norms * class_norms[None, :])
+    """Cosine similarity δ(M, H) used by the retraining rules, ``(n, k)``.
+
+    Thin alias for :func:`repro.pipeline.stages.cosine_similarities` —
+    the stage graph owns the one canonical implementation that training
+    and serving share (bit-for-bit).
+    """
+    return cosine_similarities(class_matrix, queries)
 
 
 class MassTrainer:

@@ -13,6 +13,16 @@
 
 All three expose the same ``fit`` / ``predict`` / ``accuracy`` API over
 NCHW image arrays so the benchmarks can swap them freely.
+
+Since the stage-graph refactor, each pipeline **builds a live
+:class:`repro.pipeline.StageGraph` in its constructor** — the stages
+share weights with the training objects (scaler, manifold learner, MASS
+trainer), so the graph always reflects the current training state.  All
+inference (``encode`` / ``predict`` / ``predict_features``) executes the
+graph; the training loops run individual stages through the graph runner
+(which owns the ``stage.*`` telemetry spans); and checkpoints persist
+``graph.topology()`` in a manifest section so any consumer can rebuild
+the execution plan without knowing the pipeline class.
 """
 
 from __future__ import annotations
@@ -25,8 +35,11 @@ import numpy as np
 from ..hd.encoders import NonlinearEncoder, RandomProjectionEncoder
 from ..models.base import IndexedCNN
 from ..models.extractor import FeatureExtractor, TeacherModel
-from ..nn.serialize import (CheckpointError, load_state_with_manifest,
-                            save_state)
+from ..nn.serialize import (GRAPH_SECTION, CheckpointError,
+                            load_state_with_manifest, save_state)
+from ..pipeline import (ClassifyStage, EncodeStage, ExtractStage,
+                        FeatureScaler, FlattenStage, ManifoldReduceStage,
+                        ScaleStage, StageGraph)
 from ..telemetry import clock, get_registry, span
 from ..utils.rng import derive_rng, fresh_rng, get_rng_state, set_rng_state
 from .callbacks import CheckpointCallback
@@ -43,59 +56,29 @@ __all__ = ["FeatureScaler", "NSHD", "BaselineHD", "VanillaHD",
 #: Version tag written into pipeline checkpoint manifests.
 CHECKPOINT_VERSION = 1
 
-_DEGENERATE_STD = 1e-8
-
-
-class FeatureScaler:
-    """Standardize features with training-set statistics.
-
-    CNN (ReLU) features are non-negative and heavily skewed; centering
-    them is what makes the signs of the random projection informative.
-    """
-
-    def __init__(self):
-        self.mean: Optional[np.ndarray] = None
-        self.std: Optional[np.ndarray] = None
-
-    def fit(self, features: np.ndarray) -> "FeatureScaler":
-        features = np.asarray(features, dtype=np.float64)
-        std = features.std(axis=0)
-        if np.all(std < _DEGENERATE_STD):
-            raise ValueError(
-                "FeatureScaler.fit: every feature dimension has "
-                "(near-)zero standard deviation — the input is constant "
-                "and cannot be standardized.  Check the upstream feature "
-                "extractor (dead layer?) or the input batch.")
-        self.mean = features.mean(axis=0)
-        self.std = np.where(std < _DEGENERATE_STD, 1.0, std)
-        return self
-
-    def transform(self, features: np.ndarray) -> np.ndarray:
-        if self.mean is None:
-            raise RuntimeError("FeatureScaler used before fit()")
-        return (features - self.mean) / self.std
-
-    def fit_transform(self, features: np.ndarray) -> np.ndarray:
-        """Fit on ``features`` and return them standardized (symmetry
-        convenience mirroring ``transform``)."""
-        return self.fit(features).transform(features)
-
 
 class _HDPipeline:
-    """Shared evaluation + checkpoint API for the three systems."""
+    """Shared evaluation + checkpoint API for the three systems.
+
+    Subclasses build :attr:`graph` (a live :class:`StageGraph` ending in
+    a ``classify`` stage) in their constructors; every inference path
+    below executes that graph, so the stage math exists exactly once.
+    """
 
     trainer: MassTrainer
     scaler: FeatureScaler
+    graph: StageGraph
     dim: int
     num_classes: int
     _train_rng: np.random.Generator
 
     def encode(self, images: np.ndarray) -> np.ndarray:
         """Query hypervectors for a batch of NCHW images."""
-        raise NotImplementedError
+        return self.graph.run(images, stop="classify")
 
     def predict(self, images: np.ndarray) -> np.ndarray:
-        return self.trainer.predict(self.encode(images))
+        encoded = self.encode(images)
+        return np.asarray(self.graph.call("classify", encoded))
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
         return float((self.predict(images) == np.asarray(labels)).mean())
@@ -105,7 +88,9 @@ class _HDPipeline:
     # CRC-verified (see repro.nn.serialize); they carry every mutable
     # piece of training state — class hypervectors, scaler statistics,
     # manifold FC + Adam moments when present, the shuffle RNG state, and
-    # the epoch counter — so a killed run resumes *bit-exactly*.
+    # the epoch counter — so a killed run resumes *bit-exactly*.  The
+    # graph topology rides along in a ``"graph"`` manifest section
+    # (absent from pre-refactor checkpoints, which still load).
     # ------------------------------------------------------------------
     def _checkpoint_arrays(self) -> Dict[str, np.ndarray]:
         arrays = {f"trainer.{name}": value
@@ -159,7 +144,9 @@ class _HDPipeline:
             "history": {key: [float(v) for v in values]
                         for key, values in (history or {}).items()},
         }
-        save_state(self._checkpoint_arrays(), path, meta=meta)
+        save_state(self._checkpoint_arrays(), path, meta=meta,
+                   sections={GRAPH_SECTION:
+                             {"topology": self.graph.topology()}})
 
     def load_checkpoint(self, path: str
                         ) -> Tuple[int, Dict[str, List[float]]]:
@@ -317,23 +304,40 @@ class NSHD(_HDPipeline):
             self.trainer = MassTrainer(self.num_classes, dim, lr=hd_lr,
                                        guard=guard)
 
-    # ------------------------------------------------------------------
-    def _reduced(self, features: np.ndarray) -> np.ndarray:
+        stages = [ExtractStage(self.extractor), ScaleStage(self.scaler)]
         if self.manifold is not None:
-            return self.manifold.transform(features)
-        return features
+            stages.append(ManifoldReduceStage.from_learner(self.manifold))
+        stages.append(EncodeStage(self.encoder))
+        stages.append(ClassifyStage.from_trainer(self.trainer))
+        self.graph = StageGraph(stages, name="nshd")
+
+    # ------------------------------------------------------------------
+    def _reduce_batch(self, features: np.ndarray) -> np.ndarray:
+        """Instrumented manifold reduction for the training loop.
+
+        With no manifold learner this is the identity — still wrapped in
+        the historical ``stage.manifold`` span so ablation runs keep the
+        same telemetry shape.
+        """
+        if self.manifold is not None:
+            return self.graph.call("reduce", features)
+        with span("stage.manifold",
+                  nbytes=int(np.asarray(features).nbytes)):
+            return features
+
+    @property
+    def _encode_start(self) -> str:
+        return "reduce" if self.manifold is not None else "encode"
 
     def encode_features(self, features_scaled: np.ndarray) -> np.ndarray:
-        return self.encoder.encode(self._reduced(features_scaled))
-
-    def encode(self, images: np.ndarray) -> np.ndarray:
-        features = self.scaler.transform(self.extractor.extract(images))
-        return self.encode_features(features)
+        return self.graph.run(features_scaled, start=self._encode_start,
+                              stop="classify")
 
     def predict_features(self, raw_features: np.ndarray) -> np.ndarray:
         """Predict from precomputed extractor features."""
-        return self.trainer.predict(
-            self.encode_features(self.scaler.transform(raw_features)))
+        encoded = self.graph.run(raw_features, start="scale",
+                                 stop="classify")
+        return np.asarray(self.graph.call("classify", encoded))
 
     def accuracy_features(self, raw_features: np.ndarray,
                           labels: np.ndarray) -> float:
@@ -350,10 +354,9 @@ class NSHD(_HDPipeline):
         logits are cached up front, which is the efficiency argument of
         Sec. VI-A (no CNN backpropagation anywhere in NSHD training).
         """
-        with span("stage.extract", nbytes=int(np.asarray(images).nbytes)):
-            raw_features = self.extractor.extract(images)
-            teacher_logits = (self.teacher.logits(images)
-                              if self.use_distillation else None)
+        raw_features = self.graph.call("extract", images)
+        teacher_logits = (self.teacher.logits(images)
+                          if self.use_distillation else None)
         return self.fit_features(raw_features, labels, teacher_logits,
                                  epochs=epochs, batch_size=batch_size,
                                  verbose=verbose, callbacks=callbacks)
@@ -431,11 +434,8 @@ class NSHD(_HDPipeline):
             for start in range(0, len(indices), batch_size):
                 batch = indices[start:start + batch_size]
                 feats_b = features[batch]
-                with span("stage.manifold", nbytes=int(feats_b.nbytes)):
-                    reduced = self._reduced(feats_b)
-                with span("stage.encode", nbytes=int(
-                        np.asarray(reduced).nbytes)):
-                    encoded = self.encoder.encode(reduced)
+                reduced = self._reduce_batch(feats_b)
+                encoded = self.graph.call("encode", reduced)
                 kwargs = {}
                 if self.use_distillation:
                     kwargs["teacher_logits"] = teacher_logits[batch]
@@ -498,15 +498,18 @@ class BaselineHD(_HDPipeline):
         self.trainer = MassTrainer(self.num_classes, dim, lr=hd_lr,
                                    guard=guard)
         self._train_rng = derive_rng(root, "train")
-
-    def encode(self, images: np.ndarray) -> np.ndarray:
-        features = self.scaler.transform(self.extractor.extract(images))
-        return self.encoder.encode(features)
+        self.graph = StageGraph([
+            ExtractStage(self.extractor),
+            ScaleStage(self.scaler),
+            EncodeStage(self.encoder),
+            ClassifyStage.from_trainer(self.trainer),
+        ], name="baselinehd")
 
     def predict_features(self, raw_features: np.ndarray) -> np.ndarray:
         """Predict from precomputed extractor features."""
-        return self.trainer.predict(
-            self.encoder.encode(self.scaler.transform(raw_features)))
+        encoded = self.graph.run(raw_features, start="scale",
+                                 stop="classify")
+        return np.asarray(self.graph.call("classify", encoded))
 
     def accuracy_features(self, raw_features: np.ndarray,
                           labels: np.ndarray) -> float:
@@ -517,8 +520,7 @@ class BaselineHD(_HDPipeline):
             batch_size: int = 64, checkpoint_path: Optional[str] = None,
             checkpoint_every: int = 1, resume: bool = False,
             callbacks: Optional[List] = None) -> Dict[str, List[float]]:
-        with span("stage.extract", nbytes=int(np.asarray(images).nbytes)):
-            raw_features = self.extractor.extract(images)
+        raw_features = self.graph.call("extract", images)
         return self.fit_features(raw_features, labels,
                                  epochs=epochs, batch_size=batch_size,
                                  checkpoint_path=checkpoint_path,
@@ -543,8 +545,7 @@ class BaselineHD(_HDPipeline):
             scaled = self.scaler.transform(raw_features)
         else:
             scaled = self.scaler.fit_transform(raw_features)
-        with span("stage.encode", nbytes=int(np.asarray(scaled).nbytes)):
-            encoded = self.encoder.encode(scaled)
+        encoded = self.graph.call("encode", scaled)
         return self._trainer_fit_checkpointed(
             encoded, labels, epochs, batch_size, start_epoch, saved_history,
             checkpoint_path, checkpoint_every, callbacks=callbacks)
@@ -568,10 +569,12 @@ class VanillaHD(_HDPipeline):
                                         bandwidth=bandwidth)
         self.trainer = MassTrainer(num_classes, dim, lr=hd_lr, guard=guard)
         self._train_rng = derive_rng(root, "train")
-
-    def encode(self, images: np.ndarray) -> np.ndarray:
-        flat = np.asarray(images).reshape(len(images), -1)
-        return self.encoder.encode(self.scaler.transform(flat))
+        self.graph = StageGraph([
+            FlattenStage(),
+            ScaleStage(self.scaler),
+            EncodeStage(self.encoder),
+            ClassifyStage.from_trainer(self.trainer),
+        ], name="vanillahd")
 
     def fit(self, images: np.ndarray, labels: np.ndarray, epochs: int = 20,
             batch_size: int = 64, checkpoint_path: Optional[str] = None,
@@ -585,8 +588,7 @@ class VanillaHD(_HDPipeline):
             features = self.scaler.transform(flat)
         else:
             features = self.scaler.fit_transform(flat)
-        with span("stage.encode", nbytes=int(np.asarray(features).nbytes)):
-            encoded = self.encoder.encode(features)
+        encoded = self.graph.call("encode", features)
         return self._trainer_fit_checkpointed(
             encoded, labels, epochs, batch_size, start_epoch, saved_history,
             checkpoint_path, checkpoint_every, callbacks=callbacks)

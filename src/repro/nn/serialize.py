@@ -28,11 +28,17 @@ from .layers import Module
 __all__ = [
     "save_state", "load_state", "load_state_with_manifest", "load_manifest",
     "manifest_section", "save_module", "load_module", "CheckpointError",
-    "MANIFEST_KEY", "FORMAT_VERSION",
+    "MANIFEST_KEY", "FORMAT_VERSION", "GRAPH_SECTION",
 ]
 
 #: Reserved archive member holding the JSON manifest (uint8 payload).
 MANIFEST_KEY = "__manifest__"
+
+#: Manifest section carrying a serialized stage-graph topology
+#: (``{"topology": StageGraph.topology()}``).  Written by pipeline
+#: checkpoints and model bundles; absent from pre-refactor archives,
+#: which remain loadable (consumers fall back to legacy synthesis).
+GRAPH_SECTION = "graph"
 
 #: Current checkpoint manifest format version.
 FORMAT_VERSION = 1

@@ -1,0 +1,24 @@
+"""Composable stage graph: the single executable model representation.
+
+``repro.pipeline`` owns the NSHD stage math (extract → scale → reduce →
+encode → classify) exactly once.  The ``repro.learn`` pipelines build
+live graphs for training, checkpoints and serve bundles persist graph
+topology + per-stage arrays, and the serving engine executes frozen
+graphs.  See ``docs/STAGE_GRAPH.md`` for the protocol and serialization
+layout.
+"""
+
+from .graph import StageGraph
+from .stages import (STAGE_TYPES, ClassifyStage, EncodeStage, ExtractStage,
+                     FeatureScaler, FlattenStage, ManifoldReduceStage,
+                     PackedClassifyStage, ScaleStage, Stage, StageError,
+                     clamped_norms, cosine_similarities, encoder_spec,
+                     register_stage, stage_from_spec)
+
+__all__ = [
+    "Stage", "StageGraph", "StageError", "FeatureScaler",
+    "ExtractStage", "FlattenStage", "ScaleStage", "ManifoldReduceStage",
+    "EncodeStage", "ClassifyStage", "PackedClassifyStage",
+    "cosine_similarities", "clamped_norms", "encoder_spec",
+    "register_stage", "stage_from_spec", "STAGE_TYPES",
+]

@@ -1,0 +1,637 @@
+"""Composable inference stages: the single home of the NSHD stage math.
+
+Every NSHD-family model is the same five-step program — *extract*
+(truncated CNN) → *scale* (feature standardization) → *reduce* (manifold
+max-pool + FC) → *encode* (feature-to-hypervector map) → *classify*
+(similarity argmax) — with individual steps omitted or swapped per
+pipeline.  Before the stage-graph refactor that program was implemented
+four separate times (the three ``repro.learn`` pipelines, the serving
+engine, the checkpoint writer, and the bundle exporter each hardcoded a
+variant); this module is now the **only** implementation.
+
+A :class:`Stage` is a named, serializable unit of computation:
+
+* ``stage(batch, ctx)`` maps an ``(n, …)`` numpy batch to the next
+  representation;
+* ``spec()`` returns the JSON-serializable *topology* entry (type +
+  hyperparameters, no weights) used to rebuild the stage;
+* ``state_arrays()`` / ``load_arrays()`` move the stage's weights in and
+  out of flat ``{name: ndarray}`` dicts using the historical checkpoint
+  and bundle key names (``scaler.mean``, ``encoder.projection``,
+  ``manifold.weight``, ``model.*``, ``classes``), so pre-refactor
+  archives remain loadable without translation.
+
+Stages are either **live** (sharing weights with training objects —
+:class:`~repro.learn.manifold.ManifoldLearner`, the MASS trainer — so a
+graph built by a pipeline always reflects the current training state) or
+**frozen** (owning immutable arrays loaded from a bundle; frozen
+classifiers cache their clamped class norms, which are constant).
+
+Bit-exactness contract: every stage reproduces the pre-refactor float
+semantics operand-for-operand (same dtypes, same BLAS calls, same
+clamping expressions) — the golden fixtures in ``tests/fixtures/``
+enforce this against predictions recorded before the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..hd.backend import pack_bipolar
+from ..hd.encoders import (Encoder, NonlinearEncoder,
+                           RandomProjectionEncoder)
+from ..hd.similarity import packed_classify
+from ..models.extractor import FeatureExtractor
+
+__all__ = [
+    "Stage", "StageError", "FeatureScaler",
+    "ExtractStage", "FlattenStage", "ScaleStage", "ManifoldReduceStage",
+    "EncodeStage", "ClassifyStage", "PackedClassifyStage",
+    "cosine_similarities", "clamped_norms", "encoder_spec",
+    "register_stage", "stage_from_spec", "STAGE_TYPES",
+]
+
+_DEGENERATE_STD = 1e-8
+_NORM_FLOOR = 1e-12
+
+
+class StageError(RuntimeError):
+    """A stage spec is unknown, malformed, or missing its arrays."""
+
+
+# ----------------------------------------------------------------------
+# Shared math helpers (one implementation, used by train *and* serve)
+# ----------------------------------------------------------------------
+def clamped_norms(matrix: np.ndarray) -> np.ndarray:
+    """Row norms with the trainer's degenerate-norm clamp (``< 1e-12 → 1``)."""
+    norms = np.linalg.norm(matrix, axis=1)
+    return np.where(norms < _NORM_FLOOR, 1.0, norms)
+
+
+def cosine_similarities(class_matrix: np.ndarray, queries: np.ndarray,
+                        class_norms: Optional[np.ndarray] = None
+                        ) -> np.ndarray:
+    """Cosine similarity δ(M, H), ``(n, k)`` — the paper's normalized δ.
+
+    This is the canonical implementation behind both
+    :func:`repro.learn.mass.normalized_similarity` (training) and the
+    serving engine's classifier stage; passing precomputed
+    ``class_norms`` (constant for a frozen model) skips their
+    recomputation without changing a single bit of the result.
+    """
+    queries = np.atleast_2d(queries)
+    if class_norms is None:
+        class_norms = clamped_norms(class_matrix)
+    query_norms = np.linalg.norm(queries, axis=1, keepdims=True)
+    query_norms = np.where(query_norms < _NORM_FLOOR, 1.0, query_norms)
+    return (queries @ class_matrix.T) / (query_norms * class_norms[None, :])
+
+
+# ----------------------------------------------------------------------
+# FeatureScaler (canonical home; re-exported by repro.learn)
+# ----------------------------------------------------------------------
+class FeatureScaler:
+    """Standardize features with training-set statistics.
+
+    CNN (ReLU) features are non-negative and heavily skewed; centering
+    them is what makes the signs of the random projection informative.
+    """
+
+    def __init__(self):
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "FeatureScaler":
+        features = np.asarray(features, dtype=np.float64)
+        std = features.std(axis=0)
+        if np.all(std < _DEGENERATE_STD):
+            raise ValueError(
+                "FeatureScaler.fit: every feature dimension has "
+                "(near-)zero standard deviation — the input is constant "
+                "and cannot be standardized.  Check the upstream feature "
+                "extractor (dead layer?) or the input batch.")
+        self.mean = features.mean(axis=0)
+        self.std = np.where(std < _DEGENERATE_STD, 1.0, std)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean is None:
+            raise RuntimeError("FeatureScaler used before fit()")
+        return (features - self.mean) / self.std
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return them standardized (symmetry
+        convenience mirroring ``transform``)."""
+        return self.fit(features).transform(features)
+
+
+# ----------------------------------------------------------------------
+# Stage registry
+# ----------------------------------------------------------------------
+#: Registered stage types: ``spec["type"] → Stage subclass``.
+STAGE_TYPES: Dict[str, Type["Stage"]] = {}
+
+
+def register_stage(cls: Type["Stage"]) -> Type["Stage"]:
+    """Class decorator adding a stage type to the topology registry."""
+    STAGE_TYPES[cls.stage_type] = cls
+    return cls
+
+
+def stage_from_spec(spec: Dict[str, Any],
+                    arrays: Dict[str, np.ndarray]) -> "Stage":
+    """Rebuild one stage from its topology entry plus its weight arrays.
+
+    ``arrays`` uses the flat historical key names (see module docstring);
+    each stage picks out the keys it owns.  Unknown types raise
+    :class:`StageError` so a bundle written by a newer build fails
+    loudly instead of mis-executing.
+    """
+    stage_type = spec.get("type")
+    cls = STAGE_TYPES.get(stage_type)
+    if cls is None:
+        raise StageError(
+            f"unknown stage type {stage_type!r}; this build supports "
+            f"{sorted(STAGE_TYPES)}")
+    return cls.from_spec(spec, arrays)
+
+
+class Stage:
+    """Protocol/base for named, serializable pipeline stages."""
+
+    #: Topology discriminator (set by subclasses; used by the registry).
+    stage_type: str = ""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("stages must be named")
+        self.name = str(name)
+
+    # -- execution -----------------------------------------------------
+    @property
+    def span_name(self) -> str:
+        """Telemetry span emitted by the graph runner for this stage."""
+        return f"stage.{self.name}"
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- serialization -------------------------------------------------
+    def spec(self) -> Dict[str, Any]:
+        """JSON-serializable topology entry (no weights)."""
+        return {"type": self.stage_type, "name": self.name}
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """This stage's weights under their archive key names."""
+        return {}
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore weights from a flat archive dict (picks own keys)."""
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> "Stage":
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Concrete stages
+# ----------------------------------------------------------------------
+@register_stage
+class FlattenStage(Stage):
+    """Reshape ``(n, …)`` inputs to ``(n, F)`` (VanillaHD's raw pixels)."""
+
+    stage_type = "flatten"
+
+    def __init__(self, name: str = "flatten"):
+        super().__init__(name)
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        batch = np.asarray(batch)
+        return batch.reshape(len(batch), -1)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> "FlattenStage":
+        return cls(spec.get("name", "flatten"))
+
+
+@register_stage
+class ExtractStage(Stage):
+    """Frozen truncated-CNN feature extraction (NCHW images → ``(n, F)``)."""
+
+    stage_type = "extract"
+
+    def __init__(self, extractor: FeatureExtractor, name: str = "extract"):
+        super().__init__(name)
+        self.extractor = extractor
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        return self.extractor.extract(np.asarray(batch))
+
+    def spec(self) -> Dict[str, Any]:
+        model = self.extractor.model
+        return {
+            "type": self.stage_type, "name": self.name,
+            "model": model.name,
+            "layer_index": int(self.extractor.layer_index),
+            "num_classes": int(model.num_classes),
+            "image_size": int(model.image_size),
+            "width_mult": float(getattr(model, "width_mult", 1.0)),
+            "feature_shape": [int(s) for s in self.extractor.feature_shape],
+        }
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        return {f"model.{key}": np.asarray(value)
+                for key, value in self.extractor.model.state_dict().items()}
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        state = {key[len("model."):]: value
+                 for key, value in arrays.items()
+                 if key.startswith("model.")}
+        if not state:
+            raise StageError(
+                f"stage {self.name!r} found no model.* arrays to load")
+        self.extractor.model.load_state_dict(state)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> "ExtractStage":
+        from ..models.registry import create_model
+        model = create_model(spec["model"],
+                             num_classes=int(spec["num_classes"]),
+                             width_mult=float(spec.get("width_mult", 1.0)),
+                             image_size=int(spec["image_size"]))
+        stage = cls(FeatureExtractor(model, int(spec["layer_index"])),
+                    name=spec.get("name", "extract"))
+        stage.load_arrays(arrays)
+        model.eval()
+        return stage
+
+
+@register_stage
+class ScaleStage(Stage):
+    """Standardization ``(x − μ) / σ`` with training-set statistics."""
+
+    stage_type = "scale"
+
+    def __init__(self, scaler: Optional[FeatureScaler] = None,
+                 name: str = "scale"):
+        super().__init__(name)
+        self.scaler = scaler if scaler is not None else FeatureScaler()
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        return self.scaler.transform(
+            np.asarray(batch, dtype=np.float64))
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        if self.scaler.mean is None:
+            return {}
+        return {"scaler.mean": np.asarray(self.scaler.mean),
+                "scaler.std": np.asarray(self.scaler.std)}
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        if "scaler.mean" not in arrays:
+            raise StageError(
+                f"stage {self.name!r} requires scaler.mean/scaler.std")
+        self.scaler.mean = np.asarray(arrays["scaler.mean"],
+                                      dtype=np.float64)
+        self.scaler.std = np.asarray(arrays["scaler.std"],
+                                     dtype=np.float64)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> "ScaleStage":
+        stage = cls(name=spec.get("name", "scale"))
+        stage.load_arrays(arrays)
+        return stage
+
+
+@register_stage
+class ManifoldReduceStage(Stage):
+    """Manifold compression Ψ: crop-to-even max-pool (window 2) + FC.
+
+    Numerically identical to ``F.max_pool2d(kernel=2)`` + ``F.linear``
+    on the same operands (max over the same four elements, then the same
+    ``pooled @ Wᵀ + b`` BLAS call) — proven bit-exact against the
+    autograd path by the golden fixtures and the engine-parity tests.
+
+    The weight/bias *providers* are zero-argument callables so a live
+    stage built from a :class:`~repro.learn.manifold.ManifoldLearner`
+    always sees the current (still-training) FC parameters, while a
+    frozen stage returns its loaded arrays.
+    """
+
+    stage_type = "reduce"
+    span_name = "stage.manifold"  # historical telemetry name
+
+    def __init__(self, feature_shape: Sequence[int], out_features: int,
+                 pooling: bool,
+                 weight_fn: Callable[[], np.ndarray],
+                 bias_fn: Optional[Callable[[], Optional[np.ndarray]]] = None,
+                 name: str = "reduce"):
+        super().__init__(name)
+        if len(feature_shape) != 3:
+            raise ValueError("feature_shape must be (C, H, W)")
+        self.feature_shape = tuple(int(s) for s in feature_shape)
+        self.out_features = int(out_features)
+        self.pooling = bool(pooling)
+        self._weight_fn = weight_fn
+        self._bias_fn = bias_fn
+
+    @property
+    def weight(self) -> np.ndarray:
+        return self._weight_fn()
+
+    @property
+    def bias(self) -> Optional[np.ndarray]:
+        return self._bias_fn() if self._bias_fn is not None else None
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        features = np.asarray(batch, dtype=np.float64)
+        c, h, w = self.feature_shape
+        x = features.reshape(-1, c, h, w)
+        if self.pooling:
+            n = len(x)
+            x = x[:, :, :h // 2 * 2, :w // 2 * 2]
+            x = x.reshape(n, c, h // 2, 2, w // 2, 2).max(axis=(3, 5))
+        pooled = x.reshape(len(x), -1)
+        out = pooled @ self.weight.T
+        bias = self.bias
+        if bias is not None:
+            out = out + bias
+        return out
+
+    def spec(self) -> Dict[str, Any]:
+        return {
+            "type": self.stage_type, "name": self.name,
+            "feature_shape": [int(s) for s in self.feature_shape],
+            "out_features": int(self.out_features),
+            "pooling": bool(self.pooling),
+            "has_bias": self.bias is not None,
+        }
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = {"manifold.weight": np.asarray(self.weight,
+                                                dtype=np.float64)}
+        bias = self.bias
+        if bias is not None:
+            arrays["manifold.bias"] = np.asarray(bias, dtype=np.float64)
+        return arrays
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        if "manifold.weight" not in arrays:
+            raise StageError(
+                f"stage {self.name!r} requires manifold.weight")
+        weight = np.asarray(arrays["manifold.weight"], dtype=np.float64)
+        bias = arrays.get("manifold.bias")
+        bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        self._weight_fn = lambda: weight
+        self._bias_fn = (lambda: bias) if bias is not None else None
+
+    @classmethod
+    def from_learner(cls, learner, name: str = "reduce"
+                     ) -> "ManifoldReduceStage":
+        """Live stage sharing weights with a training ManifoldLearner."""
+        bias_fn = None
+        if learner.fc.bias is not None:
+            bias_fn = lambda: np.asarray(learner.fc.bias.data,  # noqa: E731
+                                         dtype=np.float64)
+        return cls(learner.feature_shape, learner.out_features,
+                   learner.pooling,
+                   weight_fn=lambda: np.asarray(learner.fc.weight.data,
+                                                dtype=np.float64),
+                   bias_fn=bias_fn, name=name)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> "ManifoldReduceStage":
+        stage = cls(spec["feature_shape"], int(spec["out_features"]),
+                    bool(spec.get("pooling")), weight_fn=lambda: None,
+                    name=spec.get("name", "reduce"))
+        stage.load_arrays(arrays)
+        return stage
+
+
+def encoder_spec(encoder: Encoder) -> Dict[str, Any]:
+    """Legacy-shaped encoder description (the bundle ``info["encoder"]``)."""
+    if isinstance(encoder, RandomProjectionEncoder):
+        kind = "random_projection"
+    elif isinstance(encoder, NonlinearEncoder):
+        kind = "nonlinear"
+    else:
+        raise StageError(
+            f"cannot serialize encoder of type {type(encoder).__name__}; "
+            "supported: RandomProjectionEncoder, NonlinearEncoder")
+    return {"type": kind,
+            "in_features": int(encoder.in_features),
+            "dim": int(encoder.dim),
+            "quantize": bool(encoder.quantize)}
+
+
+@register_stage
+class EncodeStage(Stage):
+    """Feature → hypervector map Φ (random projection or nonlinear).
+
+    Wraps a live :class:`~repro.hd.encoders.Encoder`, so the encoder
+    math (and its ``hd.encode.*`` telemetry) lives in exactly one place;
+    frozen stages rebuild the encoder from stored arrays via the
+    ``from_arrays`` constructors without re-randomizing.
+    """
+
+    stage_type = "encode"
+
+    def __init__(self, encoder: Encoder, name: str = "encode"):
+        super().__init__(name)
+        encoder_spec(encoder)  # raises early for unsupported encoders
+        self.encoder = encoder
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        return self.encoder.encode(batch)
+
+    @property
+    def encoder_type(self) -> str:
+        return encoder_spec(self.encoder)["type"]
+
+    @property
+    def quantize(self) -> bool:
+        return bool(self.encoder.quantize)
+
+    def spec(self) -> Dict[str, Any]:
+        return {"type": self.stage_type, "name": self.name,
+                "encoder": encoder_spec(self.encoder)}
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        if isinstance(self.encoder, RandomProjectionEncoder):
+            return {"encoder.projection":
+                    np.asarray(self.encoder.projection, dtype=np.float64)}
+        return {"encoder.basis": np.asarray(self.encoder.basis,
+                                            dtype=np.float64),
+                "encoder.phase": np.asarray(self.encoder.phase,
+                                            dtype=np.float64)}
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        quantize = self.encoder.quantize
+        if isinstance(self.encoder, RandomProjectionEncoder):
+            if "encoder.projection" not in arrays:
+                raise StageError(
+                    f"stage {self.name!r} requires encoder.projection")
+            self.encoder = RandomProjectionEncoder.from_arrays(
+                arrays["encoder.projection"], quantize=quantize)
+        else:
+            if "encoder.basis" not in arrays:
+                raise StageError(
+                    f"stage {self.name!r} requires encoder.basis/phase")
+            self.encoder = NonlinearEncoder.from_arrays(
+                arrays["encoder.basis"], arrays["encoder.phase"],
+                quantize=quantize)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> "EncodeStage":
+        enc = spec.get("encoder") or {}
+        quantize = bool(enc.get("quantize", True))
+        if enc.get("type") == "random_projection":
+            if "encoder.projection" not in arrays:
+                raise StageError("encode stage requires encoder.projection")
+            encoder: Encoder = RandomProjectionEncoder.from_arrays(
+                arrays["encoder.projection"], quantize=quantize)
+        elif enc.get("type") == "nonlinear":
+            if "encoder.basis" not in arrays or "encoder.phase" not in arrays:
+                raise StageError(
+                    "encode stage requires encoder.basis and encoder.phase")
+            encoder = NonlinearEncoder.from_arrays(
+                arrays["encoder.basis"], arrays["encoder.phase"],
+                quantize=quantize)
+        else:
+            raise StageError(f"unknown encoder type {enc.get('type')!r}")
+        return cls(encoder, name=spec.get("name", "encode"))
+
+
+@register_stage
+class ClassifyStage(Stage):
+    """Cosine-similarity argmax over the class-hypervector matrix.
+
+    Live stages read the (mutating) trainer matrix through a provider
+    and recompute the clamped class norms per call — exactly what
+    :func:`~repro.learn.mass.normalized_similarity` does during
+    training.  Frozen stages own an immutable matrix and cache the norms
+    once; the division expression is shared, so both paths agree
+    bit-for-bit.
+    """
+
+    stage_type = "classify"
+    span_name = "stage.similarity"  # historical telemetry name
+
+    def __init__(self, matrix_fn: Callable[[], np.ndarray],
+                 frozen: bool = False, name: str = "classify"):
+        super().__init__(name)
+        self._matrix_fn = matrix_fn
+        self.frozen = bool(frozen)
+        self._norms: Optional[np.ndarray] = None
+        if self.frozen:
+            self._norms = clamped_norms(self.class_matrix)
+
+    @property
+    def class_matrix(self) -> np.ndarray:
+        return self._matrix_fn()
+
+    def similarities(self, encoded: np.ndarray) -> np.ndarray:
+        return cosine_similarities(self.class_matrix,
+                                   np.atleast_2d(encoded),
+                                   class_norms=self._norms)
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        return np.asarray(self.similarities(batch).argmax(axis=1))
+
+    def spec(self) -> Dict[str, Any]:
+        return {"type": self.stage_type, "name": self.name,
+                "metric": "cosine"}
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"classes": np.asarray(self.class_matrix,
+                                      dtype=np.float64)}
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        if "classes" not in arrays:
+            raise StageError(f"stage {self.name!r} requires classes")
+        matrix = np.asarray(arrays["classes"], dtype=np.float64)
+        self._matrix_fn = lambda: matrix
+        self.frozen = True
+        self._norms = clamped_norms(matrix)
+
+    @classmethod
+    def from_trainer(cls, trainer, name: str = "classify"
+                     ) -> "ClassifyStage":
+        """Live stage over a (still-training) MASS trainer's matrix."""
+        return cls(lambda: trainer.class_matrix, frozen=False, name=name)
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, name: str = "classify"
+                    ) -> "ClassifyStage":
+        """Frozen stage with cached clamped class norms."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return cls(lambda: matrix, frozen=True, name=name)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> "ClassifyStage":
+        if "classes" not in arrays:
+            raise StageError("classify stage requires classes")
+        return cls.from_matrix(arrays["classes"],
+                               name=spec.get("name", "classify"))
+
+
+class PackedClassifyStage(Stage):
+    """Bit-packed XOR-popcount classifier (bipolar operands only).
+
+    The serving fast path: class hypervectors packed to uint64 words,
+    queries packed per call, similarity = XOR + popcount.  Ranks
+    identically to the float cosine path for bipolar operands (integer
+    dots, no rounding).  Derived from a frozen :class:`ClassifyStage` at
+    engine-load time — it is an execution *variant*, not a separate
+    topology entry, so it is not registered for serialization.
+    """
+
+    stage_type = "classify_packed"
+    span_name = "stage.similarity"
+
+    def __init__(self, packed_classes: np.ndarray, dim: int,
+                 name: str = "classify_packed"):
+        super().__init__(name)
+        self.packed_classes = np.asarray(packed_classes, dtype=np.uint64)
+        self.dim = int(dim)
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        packed = pack_bipolar(np.atleast_2d(batch))
+        return packed_classify(self.packed_classes, packed, self.dim)
+
+    def spec(self) -> Dict[str, Any]:
+        return {"type": self.stage_type, "name": self.name,
+                "dim": self.dim}
+
+    @classmethod
+    def from_class_matrix(cls, matrix: np.ndarray,
+                          name: str = "classify_packed"
+                          ) -> "PackedClassifyStage":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return cls(pack_bipolar(matrix), matrix.shape[1], name=name)
+
+    @classmethod
+    def from_classify(cls, stage: ClassifyStage,
+                      name: str = "classify_packed"
+                      ) -> "PackedClassifyStage":
+        return cls.from_class_matrix(stage.class_matrix, name=name)

@@ -30,11 +30,11 @@ Quickstart::
 from .batching import MicroBatcher
 from .bundle import BUNDLE_SECTION, BUNDLE_VERSION, BundleError, ModelBundle
 from .engine import EngineSelfCheckError, InferenceEngine
-from .server import ModelServer, RequestError
+from .server import ModelServer, ReloadError, RequestError
 
 __all__ = [
     "BUNDLE_VERSION", "BUNDLE_SECTION", "BundleError", "ModelBundle",
     "InferenceEngine", "EngineSelfCheckError",
     "MicroBatcher",
-    "ModelServer", "RequestError",
+    "ModelServer", "ReloadError", "RequestError",
 ]

@@ -1,0 +1,181 @@
+"""CLI entry point: ``python -m repro.serve bundle.npz --port 8000``.
+
+Serves a :class:`~repro.serve.bundle.ModelBundle` over HTTP with the
+stdlib :class:`~repro.serve.server.ModelServer` (micro-batching, load
+shedding, Prometheus metrics, hot reload on ``POST /reload`` / SIGHUP).
+
+Tuning can come from flags or a TOML config file (``--config
+serve.toml``); flags win over the file.  The file maps 1:1 onto the
+MicroBatcher / LoadShedder / engine knobs::
+
+    [server]
+    host = "0.0.0.0"
+    port = 8000
+
+    [batcher]
+    max_batch_size = 64
+    max_latency_ms = 5.0
+    workers = 2
+    high_watermark = 128
+    timeout_s = 5.0
+
+    [engine]
+    cache_size = 256
+    use_packed = true        # omit for auto-selection
+    build_extractor = true
+
+Flat top-level keys (``port = 8000``) are accepted too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .bundle import BundleError, ModelBundle
+from .engine import EngineSelfCheckError, InferenceEngine
+from .server import ModelServer
+
+__all__ = ["main", "build_server", "load_config"]
+
+#: Config keys per section → ModelServer / InferenceEngine kwarg names.
+_SERVER_KEYS = ("host", "port")
+_BATCHER_KEYS = ("max_batch_size", "max_latency_ms", "workers",
+                 "high_watermark", "timeout_s")
+_ENGINE_KEYS = ("cache_size", "use_packed", "build_extractor", "selfcheck")
+
+
+def load_config(path: str) -> Dict[str, Any]:
+    """Read a TOML config file into a flat ``{key: value}`` dict.
+
+    Accepts both sectioned (``[server]`` / ``[batcher]`` / ``[engine]``)
+    and flat layouts; unknown keys raise so typos fail loudly instead of
+    silently serving with defaults.
+    """
+    import tomllib
+    with open(path, "rb") as handle:
+        raw = tomllib.load(handle)
+    flat: Dict[str, Any] = {}
+    known = set(_SERVER_KEYS) | set(_BATCHER_KEYS) | set(_ENGINE_KEYS)
+    for key, value in raw.items():
+        if isinstance(value, dict):
+            if key not in ("server", "batcher", "engine"):
+                raise ValueError(
+                    f"unknown config section [{key}] in {path!r}; "
+                    "expected [server], [batcher], or [engine]")
+            for sub, subvalue in value.items():
+                if sub not in known:
+                    raise ValueError(
+                        f"unknown config key {key}.{sub} in {path!r}")
+                flat[sub] = subvalue
+        else:
+            if key not in known:
+                raise ValueError(f"unknown config key {key!r} in {path!r}")
+            flat[key] = value
+    return flat
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a model bundle over HTTP "
+                    "(/predict, /healthz, /metrics, /reload).")
+    parser.add_argument("bundle", help="path to a ModelBundle .npz archive")
+    parser.add_argument("--config", default=None,
+                        help="TOML config file (flags override it)")
+    parser.add_argument("--host", default=None, help="bind host "
+                        "(default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="bind port (default 8000; 0 = ephemeral)")
+    parser.add_argument("--max-batch-size", type=int, default=None)
+    parser.add_argument("--max-latency-ms", type=float, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--high-watermark", type=int, default=None,
+                        help="shedder high watermark (0 disables shedding)")
+    parser.add_argument("--timeout-s", type=float, default=None,
+                        help="per-request deadline inside the batcher")
+    parser.add_argument("--cache-size", type=int, default=None,
+                        help="encoded-hypervector LRU entries (0 disables)")
+    parser.add_argument("--no-packed", action="store_true",
+                        help="forbid the bit-packed fast path")
+    parser.add_argument("--no-extractor", action="store_true",
+                        help="serve features only (skip rebuilding the CNN)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="build engine+server, print health JSON, exit")
+    return parser.parse_args(argv)
+
+
+def build_server(args: argparse.Namespace) -> ModelServer:
+    """Resolve config + flags into a bound (not yet serving) server."""
+    config = load_config(args.config) if args.config else {}
+
+    def knob(name: str, default: Any) -> Any:
+        flag = getattr(args, name, None)
+        if flag is not None:
+            return flag
+        return config.get(name, default)
+
+    engine_options: Dict[str, Any] = {
+        "cache_size": int(knob("cache_size", 256)),
+    }
+    if args.no_packed:
+        engine_options["use_packed"] = False
+    elif "use_packed" in config:
+        engine_options["use_packed"] = bool(config["use_packed"])
+    if args.no_extractor:
+        engine_options["build_extractor"] = False
+    elif "build_extractor" in config:
+        engine_options["build_extractor"] = bool(config["build_extractor"])
+    if "selfcheck" in config:
+        engine_options["selfcheck"] = bool(config["selfcheck"])
+
+    ModelBundle.verify(args.bundle)
+    engine = InferenceEngine.from_path(args.bundle, **engine_options)
+
+    high_watermark = knob("high_watermark", 128)
+    high_watermark = int(high_watermark) if high_watermark else None
+    return ModelServer(
+        engine,
+        host=str(knob("host", "127.0.0.1")),
+        port=int(knob("port", 8000)),
+        max_batch_size=int(knob("max_batch_size", 32)),
+        max_latency_ms=float(knob("max_latency_ms", 5.0)),
+        workers=int(knob("workers", 2)),
+        high_watermark=high_watermark,
+        timeout_s=float(knob("timeout_s", 5.0)),
+        bundle_path=args.bundle,
+        engine_options=engine_options,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    try:
+        server = build_server(args)
+    except (BundleError, EngineSelfCheckError, OSError,
+            ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        print(json.dumps(server.health(), indent=2, sort_keys=True,
+                         default=str))
+        server.stop()
+        return 0
+
+    host, port = server.address
+    print(f"serving {args.bundle} on http://{host}:{port} "
+          f"(POST /predict, /reload; GET /healthz, /metrics; "
+          f"SIGHUP reloads)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

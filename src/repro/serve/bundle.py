@@ -33,10 +33,10 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..hardware.quantize import QuantizedTensor, quantize_symmetric
-from ..hd.encoders import NonlinearEncoder, RandomProjectionEncoder
 from ..hd.hypervector import hard_quantize, is_bipolar
 from ..nn.serialize import (CheckpointError, load_state_with_manifest,
                             manifest_section, save_state)
+from ..pipeline import StageError, StageGraph
 from ..telemetry import (config_fingerprint, decode_non_finite,
                          encode_non_finite, git_info)
 
@@ -53,20 +53,9 @@ class BundleError(RuntimeError):
     """A model bundle is missing, malformed, or incompatible."""
 
 
-def _encoder_spec(encoder) -> Dict[str, Any]:
-    if isinstance(encoder, RandomProjectionEncoder):
-        return {"type": "random_projection",
-                "in_features": int(encoder.in_features),
-                "dim": int(encoder.dim),
-                "quantize": bool(encoder.quantize)}
-    if isinstance(encoder, NonlinearEncoder):
-        return {"type": "nonlinear",
-                "in_features": int(encoder.in_features),
-                "dim": int(encoder.dim),
-                "quantize": bool(encoder.quantize)}
-    raise BundleError(
-        f"cannot bundle encoder of type {type(encoder).__name__}; "
-        "supported: RandomProjectionEncoder, NonlinearEncoder")
+def _spec_fields(spec: Dict[str, Any], *fields: str) -> Dict[str, Any]:
+    """Project a stage spec onto the legacy ``info`` field names."""
+    return {field: spec[field] for field in fields if field in spec}
 
 
 class ModelBundle:
@@ -118,11 +107,21 @@ class ModelBundle:
             raise BundleError(
                 "pipeline has an uninitialized class-hypervector matrix — "
                 "bundle export requires a trained pipeline")
+        graph: Optional[StageGraph] = getattr(pipeline, "graph", None)
+        if graph is None:
+            raise BundleError(
+                "pipeline has no StageGraph — bundle export requires a "
+                "graph-building pipeline (NSHD / BaselineHD / VanillaHD)")
 
-        arrays: Dict[str, np.ndarray] = {
-            "scaler.mean": np.asarray(scaler.mean, dtype=np.float64),
-            "scaler.std": np.asarray(scaler.std, dtype=np.float64),
-        }
+        # The graph is the single source of truth: its per-stage arrays
+        # (historical flat key names) become the payload, its topology
+        # rides in ``info["graph"]``, and the legacy info fields are
+        # projections of the stage specs so pre-refactor consumers keep
+        # reading the same provenance shape.
+        arrays: Dict[str, np.ndarray] = dict(graph.state_arrays())
+        topology = graph.topology()
+        specs = {spec["name"]: spec for spec in topology["stages"]}
+
         info: Dict[str, Any] = {
             "bundle_version": BUNDLE_VERSION,
             "pipeline": type(pipeline).__name__,
@@ -134,62 +133,31 @@ class ModelBundle:
             "config_fingerprint": config_fingerprint(dict(config or {})),
             "binarized": bool(binarize),
             "quantize_bits": int(quantize_bits) if quantize_bits else None,
+            "graph": topology,
         }
 
-        # -- encoder ---------------------------------------------------
-        encoder = pipeline.encoder
-        info["encoder"] = _encoder_spec(encoder)
-        if isinstance(encoder, RandomProjectionEncoder):
-            arrays["encoder.projection"] = np.asarray(encoder.projection,
-                                                      dtype=np.float64)
-        else:
-            arrays["encoder.basis"] = np.asarray(encoder.basis,
-                                                 dtype=np.float64)
-            arrays["encoder.phase"] = np.asarray(encoder.phase,
-                                                 dtype=np.float64)
-
-        # -- extractor (truncated CNN) ---------------------------------
-        extractor = getattr(pipeline, "extractor", None)
-        if extractor is not None:
-            model = extractor.model
-            info["extractor"] = {
-                "model": model.name,
-                "layer_index": int(extractor.layer_index),
-                "num_classes": int(model.num_classes),
-                "image_size": int(model.image_size),
-                "width_mult": float(getattr(model, "width_mult", 1.0)),
-                "feature_shape": [int(s) for s in extractor.feature_shape],
-            }
-            for name, value in model.state_dict().items():
-                arrays[f"model.{name}"] = np.asarray(value)
+        info["encoder"] = dict(specs["encode"]["encoder"])
+        if "extract" in specs:
+            info["extractor"] = _spec_fields(
+                specs["extract"], "model", "layer_index", "num_classes",
+                "image_size", "width_mult", "feature_shape")
         else:
             info["extractor"] = None
             info["image_size"] = int(getattr(pipeline, "num_features", 0))
-
-        # -- manifold FC -----------------------------------------------
-        manifold = getattr(pipeline, "manifold", None)
-        if manifold is not None:
-            weight = np.asarray(manifold.fc.weight.data, dtype=np.float64)
-            bias = (np.asarray(manifold.fc.bias.data, dtype=np.float64)
-                    if manifold.fc.bias is not None else None)
-            info["manifold"] = {
-                "feature_shape": [int(s) for s in manifold.feature_shape],
-                "out_features": int(manifold.out_features),
-                "pooling": bool(manifold.pooling),
-                "has_bias": bias is not None,
-            }
-            if quantize_bits:
-                arrays.update(quantize_symmetric(
-                    weight, quantize_bits).to_arrays("manifold.weight"))
-            else:
-                arrays["manifold.weight"] = weight
-            if bias is not None:
-                arrays["manifold.bias"] = bias
+        if "reduce" in specs:
+            info["manifold"] = _spec_fields(
+                specs["reduce"], "feature_shape", "out_features",
+                "pooling", "has_bias")
         else:
             info["manifold"] = None
 
-        # -- class hypervectors ----------------------------------------
-        classes = np.asarray(trainer.class_matrix, dtype=np.float64)
+        # -- deployment transforms (quantize / binarize) ---------------
+        if "reduce" in specs and quantize_bits:
+            weight = arrays.pop("manifold.weight")
+            arrays.update(quantize_symmetric(
+                weight, quantize_bits).to_arrays("manifold.weight"))
+
+        classes = np.asarray(arrays.pop("classes"), dtype=np.float64)
         if binarize:
             arrays["classes"] = hard_quantize(classes)
         elif quantize_bits:
@@ -349,6 +317,65 @@ class ModelBundle:
         return {name[len("model."):]: value
                 for name, value in self.arrays.items()
                 if name.startswith("model.")}
+
+    # ------------------------------------------------------------------
+    # Stage graph
+    # ------------------------------------------------------------------
+    def graph_topology(self) -> Dict[str, Any]:
+        """The bundle's stage-graph topology.
+
+        New-format bundles carry it verbatim in ``info["graph"]``;
+        pre-refactor bundles (no ``graph`` key) get an equivalent
+        topology synthesized from the legacy ``encoder`` / ``extractor``
+        / ``manifold`` provenance fields — the compatibility shim that
+        keeps every old artifact loadable and servable.
+        """
+        topology = self.info.get("graph")
+        if topology:
+            return topology
+        info = self.info
+        stages: List[Dict[str, Any]] = []
+        extractor = info.get("extractor")
+        if extractor is not None:
+            stages.append({"type": "extract", "name": "extract",
+                           **extractor})
+        else:
+            stages.append({"type": "flatten", "name": "flatten"})
+        stages.append({"type": "scale", "name": "scale"})
+        manifold = info.get("manifold")
+        if manifold is not None:
+            stages.append({"type": "reduce", "name": "reduce", **manifold})
+        stages.append({"type": "encode", "name": "encode",
+                       "encoder": dict(info.get("encoder") or {})})
+        stages.append({"type": "classify", "name": "classify",
+                       "metric": "cosine"})
+        return {"version": 1,
+                "name": str(info.get("pipeline", "bundle")).lower(),
+                "stages": stages}
+
+    def build_graph(self, build_extractor: bool = True) -> StageGraph:
+        """Frozen, executable :class:`StageGraph` for this bundle.
+
+        Quantized payloads (int8 class matrix / manifold weight) are
+        dequantized into the float arrays the stages expect; with
+        ``build_extractor=False`` the (expensive to rebuild) CNN extract
+        stage is dropped so the graph starts at the feature interface.
+        """
+        topology = dict(self.graph_topology())
+        specs = list(topology.get("stages") or [])
+        if not build_extractor:
+            specs = [spec for spec in specs if spec.get("type") != "extract"]
+        topology["stages"] = specs
+
+        resolved: Dict[str, np.ndarray] = dict(self.arrays)
+        resolved["classes"] = self.class_matrix()
+        if any(spec.get("type") == "reduce" for spec in specs):
+            resolved["manifold.weight"] = self.manifold_weight()
+        try:
+            return StageGraph.from_topology(topology, resolved)
+        except StageError as exc:
+            raise BundleError(
+                f"bundle stage graph could not be built: {exc}") from exc
 
     @property
     def binary_classes(self) -> bool:

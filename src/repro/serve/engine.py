@@ -1,32 +1,29 @@
-"""The serving inference engine: fused forward path over a model bundle.
+"""The serving inference engine: a thin executor over a frozen StageGraph.
 
-:class:`InferenceEngine` executes a :class:`repro.serve.bundle.ModelBundle`
-without reconstructing the training pipeline objects around it.  The
-float stages are replicated *op-for-op* against the training code so
-predictions are bit-exact with ``pipeline.predict``:
+:class:`InferenceEngine` serves a :class:`repro.serve.bundle.ModelBundle`
+by executing the bundle's :class:`repro.pipeline.StageGraph`
+(``bundle.build_graph()``) — the *same* stage implementations the
+training pipelines run, so predictions are bit-exact with
+``pipeline.predict`` by construction rather than by replication.  The
+engine itself contains **no stage math**: no scaling, no manifold
+reduction, no encoding, no similarity expressions — it adds exactly the
+serving concerns:
 
-* scaler: ``(x - mean) / std`` (same float64 ops as ``FeatureScaler``);
-* manifold: crop-to-even + reshape max-pool and ``pooled @ W.T + b`` —
-  numerically identical to ``F.max_pool2d(kernel=2)`` + ``F.linear``
-  (same operands, same BLAS calls, no autograd tape);
-* encoder: ``sign(V @ P)`` (or the nonlinear cos·sin map);
-* similarity: an exact replication of
-  :func:`repro.learn.mass.normalized_similarity` with the clamped class
-  norms **cached** (they are constant for a frozen bundle).
+* an LRU cache keyed by the sha1 of each sample's raw feature bytes that
+  memoizes encoded hypervectors, so repeated queries skip the projection
+  GEMM entirely (``serve.cache.hits`` / ``serve.cache.misses``);
+* automatic selection of the **bit-packed XOR-popcount fast path**
+  (:class:`repro.pipeline.PackedClassifyStage`) when the bundle's class
+  matrix is bipolar (``binarize=True`` export) and the encoder emits
+  bipolar queries — it ranks identically to the float cosine stage for
+  bipolar operands (integer dots, no rounding);
+* a load-time :meth:`selfcheck` proving the packed stage agrees with the
+  float reference kernels on random probes;
+* request/sample counters and ``serve.*`` spans for the telemetry layer.
 
-When the bundle's class matrix is bipolar (``binarize=True`` export),
-the engine additionally builds a **bit-packed fast path**: class
-hypervectors and queries are packed to uint64 words
-(:func:`repro.hd.backend.pack_bipolar`) and classified with the
-XOR-popcount kernel (:func:`repro.hd.similarity.packed_classify`), which
-ranks identically to the float cosine path for bipolar operands —
-integer dots, no rounding.  :meth:`selfcheck` proves the agreement on
-random probes at load time.
-
-An LRU cache keyed by the sha1 of each sample's raw feature bytes
-memoizes encoded hypervectors, so repeated queries skip the
-projection GEMM entirely (``serve.cache.hits`` / ``serve.cache.misses``
-count the effectiveness).
+Pre-refactor bundles (no ``info["graph"]`` topology) are served through
+the same code path: :meth:`ModelBundle.build_graph` synthesizes the
+equivalent topology from the legacy provenance fields.
 """
 
 from __future__ import annotations
@@ -38,11 +35,8 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from ..hd.backend import pack_bipolar
-from ..hd.hypervector import hard_quantize
-from ..hd.similarity import classify, packed_classify
-from ..models.extractor import FeatureExtractor
-from ..models.registry import create_model
+from ..hd.similarity import classify
+from ..pipeline import PackedClassifyStage
 from ..telemetry import get_registry, span
 from ..utils.rng import fresh_rng
 from .bundle import BundleError, ModelBundle
@@ -93,7 +87,7 @@ class _EncodedLRU:
 
 
 class InferenceEngine:
-    """Fused, cache-accelerated inference over a frozen model bundle.
+    """Cache-accelerated StageGraph executor over a frozen model bundle.
 
     Parameters
     ----------
@@ -106,7 +100,7 @@ class InferenceEngine:
     cache_size:
         LRU capacity (entries) for encoded hypervectors; 0 disables.
     build_extractor:
-        Reconstruct the truncated CNN from the bundled weights so
+        Keep the truncated-CNN ``extract`` stage in the graph so
         :meth:`predict` accepts raw NCHW images.  Disable for servers
         that only ever receive precomputed features.
     selfcheck:
@@ -126,47 +120,16 @@ class InferenceEngine:
         self.num_classes = int(info["num_classes"])
         self.pipeline_name = str(info["pipeline"])
 
-        # -- scaler ----------------------------------------------------
-        self._mean = np.asarray(bundle.arrays["scaler.mean"],
-                                dtype=np.float64)
-        self._std = np.asarray(bundle.arrays["scaler.std"],
-                               dtype=np.float64)
+        # -- the executable: one frozen stage graph --------------------
+        self.graph = bundle.build_graph(build_extractor=build_extractor)
+        self._classify = self.graph.stage("classify")
+        encode_stage = self.graph.stage("encode")
+        self._encoder_type = encode_stage.encoder_type
+        self._encoder_quantize = bool(encode_stage.quantize)
+        self.extractor = (self.graph.stage("extract").extractor
+                          if "extract" in self.graph else None)
 
-        # -- encoder ---------------------------------------------------
-        enc = info["encoder"]
-        self._encoder_type = enc["type"]
-        self._encoder_quantize = bool(enc.get("quantize", True))
-        if self._encoder_type == "random_projection":
-            self._projection = np.asarray(bundle.arrays["encoder.projection"],
-                                          dtype=np.float64)
-            self._basis = self._phase = None
-        else:
-            self._projection = None
-            self._basis = np.asarray(bundle.arrays["encoder.basis"],
-                                     dtype=np.float64)
-            self._phase = np.asarray(bundle.arrays["encoder.phase"],
-                                     dtype=np.float64)
-
-        # -- manifold --------------------------------------------------
-        manifold = info.get("manifold")
-        if manifold is not None:
-            self._manifold_shape = tuple(int(s)
-                                         for s in manifold["feature_shape"])
-            self._manifold_pooling = bool(manifold.get("pooling"))
-            self._manifold_weight = bundle.manifold_weight()
-            self._manifold_bias = bundle.manifold_bias()
-        else:
-            self._manifold_shape = None
-            self._manifold_weight = None
-            self._manifold_bias = None
-            self._manifold_pooling = False
-
-        # -- class matrix: float path (cached clamped norms) -----------
-        self._class_matrix = bundle.class_matrix()
-        norms = np.linalg.norm(self._class_matrix, axis=1)
-        self._class_norms = np.where(norms < 1e-12, 1.0, norms)
-
-        # -- class matrix: packed fast path ----------------------------
+        # -- packed fast-path selection --------------------------------
         binary = bundle.binary_classes
         if use_packed is None:
             use_packed = binary and self._encoder_quantize \
@@ -181,21 +144,8 @@ class InferenceEngine:
                 "queries must be bipolar to bit-pack); this bundle's "
                 "encoder emits continuous hypervectors")
         self.use_packed = bool(use_packed)
-        self._packed_classes = (pack_bipolar(self._class_matrix)
-                                if self.use_packed else None)
-
-        # -- extractor -------------------------------------------------
-        self.extractor: Optional[FeatureExtractor] = None
-        ext = info.get("extractor")
-        if ext is not None and build_extractor:
-            model = create_model(ext["model"],
-                                 num_classes=int(ext["num_classes"]),
-                                 width_mult=float(ext["width_mult"]),
-                                 image_size=int(ext["image_size"]))
-            model.load_state_dict(bundle.model_state())
-            model.eval()
-            self.extractor = FeatureExtractor(model,
-                                              int(ext["layer_index"]))
+        self._packed_stage = (PackedClassifyStage.from_classify(
+            self._classify) if self.use_packed else None)
 
         self._cache = _EncodedLRU(cache_size) if cache_size > 0 else None
         if selfcheck and self.use_packed:
@@ -207,44 +157,37 @@ class InferenceEngine:
         """Verify + load a bundle archive and build an engine on it."""
         return cls(ModelBundle.load(path, verify=True), **kwargs)
 
-    # ------------------------------------------------------------------
-    # Fused forward stages (op-for-op replicas of the training code)
-    # ------------------------------------------------------------------
-    def _scale(self, raw_features: np.ndarray) -> np.ndarray:
-        return (raw_features - self._mean) / self._std
+    # -- packed-stage plumbing (kept for API/test compatibility) -------
+    @property
+    def _class_matrix(self) -> np.ndarray:
+        return self._classify.class_matrix
 
-    def _reduce(self, features: np.ndarray) -> np.ndarray:
-        if self._manifold_weight is None:
-            return features
-        c, h, w = self._manifold_shape
-        x = features.reshape(-1, c, h, w)
-        if self._manifold_pooling:
-            n = len(x)
-            x = x[:, :, :h // 2 * 2, :w // 2 * 2]
-            x = x.reshape(n, c, h // 2, 2, w // 2, 2).max(axis=(3, 5))
-        pooled = x.reshape(len(x), -1)
-        out = pooled @ self._manifold_weight.T
-        if self._manifold_bias is not None:
-            out = out + self._manifold_bias
-        return out
+    @property
+    def _packed_classes(self) -> Optional[np.ndarray]:
+        return (None if self._packed_stage is None
+                else self._packed_stage.packed_classes)
 
-    def _encode(self, reduced: np.ndarray) -> np.ndarray:
-        if self._encoder_type == "random_projection":
-            raw = reduced @ self._projection
-            return hard_quantize(raw) if self._encoder_quantize else raw
-        proj = reduced @ self._basis
-        raw = np.cos(proj + self._phase) * np.sin(proj)
-        return hard_quantize(raw) if self._encoder_quantize else raw
+    @_packed_classes.setter
+    def _packed_classes(self, value: np.ndarray) -> None:
+        if self._packed_stage is None:
+            raise BundleError("engine has no packed fast path")
+        self._packed_stage.packed_classes = np.asarray(value,
+                                                       dtype=np.uint64)
 
     # ------------------------------------------------------------------
     def encode_features(self, raw_features: np.ndarray) -> np.ndarray:
-        """Query hypervectors for ``(n, F)`` raw features (LRU-cached)."""
+        """Query hypervectors for ``(n, F)`` raw features (LRU-cached).
+
+        Executes the graph's ``scale → (reduce) → encode`` slice; the
+        LRU sits in front of it, keyed per sample.
+        """
         raw_features = np.atleast_2d(
             np.asarray(raw_features, dtype=np.float64))
         registry = get_registry()
         if self._cache is None:
             with span("serve.encode", nbytes=int(raw_features.nbytes)):
-                return self._encode(self._reduce(self._scale(raw_features)))
+                return self.graph.run(raw_features, start="scale",
+                                      stop="classify")
 
         keys = [hashlib.sha1(np.ascontiguousarray(row).tobytes()).digest()
                 for row in raw_features]
@@ -261,24 +204,22 @@ class InferenceEngine:
         if miss_idx:
             misses = raw_features[miss_idx]
             with span("serve.encode", nbytes=int(misses.nbytes)):
-                fresh = self._encode(self._reduce(self._scale(misses)))
+                fresh = self.graph.run(misses, start="scale",
+                                       stop="classify")
             for j, i in enumerate(miss_idx):
                 encoded[i] = fresh[j]
                 self._cache.put(keys[i], fresh[j].copy())
         return encoded
 
     def similarities(self, encoded: np.ndarray) -> np.ndarray:
-        """Cosine similarities, bit-exact with ``normalized_similarity``.
+        """Cosine similarities from the frozen classify stage.
 
-        The clamped class norms are precomputed at load time; the query
-        norms and the final division are performed with the exact
-        expression the trainer uses, so predictions agree bit-for-bit.
+        Bit-exact with :func:`repro.learn.mass.normalized_similarity`
+        (same canonical expression in
+        :func:`repro.pipeline.cosine_similarities`); the clamped class
+        norms are cached by the frozen stage — they are constant.
         """
-        queries = np.atleast_2d(encoded)
-        query_norms = np.linalg.norm(queries, axis=1, keepdims=True)
-        query_norms = np.where(query_norms < 1e-12, 1.0, query_norms)
-        return ((queries @ self._class_matrix.T)
-                / (query_norms * self._class_norms[None, :]))
+        return self._classify.similarities(encoded)
 
     # ------------------------------------------------------------------
     def predict_features(self, raw_features: np.ndarray) -> np.ndarray:
@@ -290,19 +231,16 @@ class InferenceEngine:
         registry.inc("serve.samples", len(raw_features))
         with span("serve.predict", nbytes=int(raw_features.nbytes)):
             encoded = self.encode_features(raw_features)
-            if self.use_packed:
-                packed = pack_bipolar(encoded)
-                return packed_classify(self._packed_classes, packed,
-                                       self.dim)
-            return np.asarray(self.similarities(encoded).argmax(axis=1))
+            if self._packed_stage is not None:
+                return self._packed_stage(encoded)
+            return np.asarray(self._classify(encoded))
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Class predictions for raw NCHW images (end-to-end)."""
         images = np.asarray(images)
-        if self.extractor is not None:
-            raw = self.extractor.extract(images)
-        elif self.bundle.info.get("extractor") is None:
-            raw = images.reshape(len(images), -1)
+        front = self.graph.names[0]
+        if front in ("extract", "flatten"):
+            raw = self.graph.run(images, stop="scale")
         else:
             raise BundleError(
                 "engine was built with build_extractor=False; "
@@ -319,20 +257,19 @@ class InferenceEngine:
         """Prove the packed path agrees with the reference kernels.
 
         Draws random bipolar probe hypervectors and checks (1) the
-        XOR-popcount classifier returns the same labels as the float
+        XOR-popcount classify stage returns the same labels as the float
         dot-product :func:`repro.hd.similarity.classify`, and (2) the
-        engine's cached-norm cosine path agrees as well (for bipolar
-        class matrices all three rank identically).  Raises
+        frozen cosine classify stage agrees as well (for bipolar class
+        matrices all three rank identically).  Raises
         :class:`EngineSelfCheckError` on any disagreement.
         """
         if not self.use_packed:
             return True
         rng = fresh_rng((seed, "serve-selfcheck"))
         hvs = np.where(rng.random((probes, self.dim)) < 0.5, -1.0, 1.0)
-        packed = pack_bipolar(hvs)
-        got = packed_classify(self._packed_classes, packed, self.dim)
+        got = self._packed_stage(hvs)
         want_dot = classify(self._class_matrix, hvs, metric="dot")
-        want_cos = np.asarray(self.similarities(hvs).argmax(axis=1))
+        want_cos = np.asarray(self._classify(hvs))
         if not np.array_equal(got, want_dot):
             raise EngineSelfCheckError(
                 f"packed XOR-popcount disagrees with float dot on "
@@ -357,8 +294,9 @@ class InferenceEngine:
             "num_classes": self.num_classes,
             "packed": self.use_packed,
             "encoder": self._encoder_type,
+            "graph": self.graph.describe(),
             "has_extractor": self.extractor is not None,
-            "has_manifold": self._manifold_weight is not None,
+            "has_manifold": "reduce" in self.graph,
             "cache": self.cache_info(),
             "config_fingerprint": self.bundle.info.get(
                 "config_fingerprint"),

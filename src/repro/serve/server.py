@@ -26,6 +26,7 @@ Endpoints
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -36,9 +37,14 @@ from ..reliability.degrade import (DeadlineExceededError, LoadShedder,
                                    OverloadShedError)
 from ..telemetry import get_registry, prometheus_text
 from .batching import MicroBatcher
-from .engine import InferenceEngine
+from .bundle import BundleError, ModelBundle
+from .engine import EngineSelfCheckError, InferenceEngine
 
-__all__ = ["ModelServer", "RequestError"]
+__all__ = ["ModelServer", "RequestError", "ReloadError"]
+
+
+class ReloadError(RuntimeError):
+    """A hot reload was requested but could not be satisfied."""
 
 
 class RequestError(ValueError):
@@ -89,6 +95,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         app = self.server.app
+        if self.path == "/reload":
+            self._do_reload(app)
+            return
         if self.path != "/predict":
             self._send_json(404, {"error": f"no route {self.path!r}"})
             return
@@ -115,6 +124,39 @@ class _Handler(BaseHTTPRequestHandler):
                 "labels": [int(label) for label in labels],
                 "model": app.engine.bundle.info.get("config_fingerprint"),
             })
+
+    def _do_reload(self, app: "ModelServer") -> None:
+        """``POST /reload``: swap in a re-verified bundle (or refuse).
+
+        An optional JSON body ``{"bundle": "path.npz"}`` points the
+        server at a *new* artifact; otherwise the configured
+        ``bundle_path`` is re-read.  A torn, invalid, or incompatible
+        bundle returns **409** and the old engine keeps serving.
+        """
+        registry = get_registry()
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length) if length else b""
+            path = None
+            if body.strip():
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as exc:
+                    raise RequestError(
+                        f"reload body is not valid JSON: {exc}") from exc
+                if not isinstance(payload, dict):
+                    raise RequestError(
+                        'reload body must be {"bundle": "path"}')
+                path = payload.get("bundle")
+            info = app.reload(path)
+        except RequestError as exc:
+            registry.inc("serve.http.bad_request")
+            self._send_json(400, {"error": str(exc)})
+        except ReloadError as exc:
+            registry.inc("serve.reload.rejected")
+            self._send_json(409, {"error": str(exc), "reloaded": False})
+        else:
+            self._send_json(200, info)
 
 
 def _parse_features(body: bytes) -> np.ndarray:
@@ -163,24 +205,51 @@ class ModelServer:
         shedding.
     timeout_s:
         Default per-request deadline inside the batcher.
+    bundle_path:
+        Where this server's bundle lives on disk.  Enables hot reload
+        (``POST /reload`` / SIGHUP): the path is re-verified and a fresh
+        engine is atomically swapped behind the batcher.
+    engine_options:
+        Keyword arguments for the :class:`InferenceEngine` built on
+        reload (``cache_size``, ``use_packed``, ...).  Defaults to the
+        current engine's cache capacity with packed auto-selection.
     """
 
     def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
                  port: int = 0, max_batch_size: int = 32,
                  max_latency_ms: float = 5.0, workers: int = 2,
                  high_watermark: Optional[int] = 128,
-                 timeout_s: Optional[float] = 5.0):
+                 timeout_s: Optional[float] = 5.0,
+                 bundle_path: Optional[str] = None,
+                 engine_options: Optional[Dict[str, Any]] = None):
         self.engine = engine
+        self.bundle_path = bundle_path
+        if engine_options is None:
+            # Test doubles may not implement the full engine surface;
+            # fall back to engine defaults on reload in that case.
+            cache_info = getattr(engine, "cache_info", None)
+            engine_options = ({"cache_size": cache_info()["max_entries"]}
+                              if callable(cache_info) else {})
+        self.engine_options = dict(engine_options)
+        self.reloads = 0
+        self._reload_lock = threading.Lock()
         self.shedder = (LoadShedder(high_watermark)
                         if high_watermark else None)
+        # The batcher calls through ``_predict_batch`` (which reads
+        # ``self.engine`` per batch) instead of a bound method, so a hot
+        # reload only has to swap the attribute — in-flight batches
+        # finish on whichever engine they started with.
         self.batcher = MicroBatcher(
-            engine.predict_features, max_batch_size=max_batch_size,
+            self._predict_batch, max_batch_size=max_batch_size,
             max_latency_ms=max_latency_ms, workers=workers,
             shedder=self.shedder, default_timeout_s=timeout_s)
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.app = self
         self._thread: Optional[threading.Thread] = None
         self._started = False
+
+    def _predict_batch(self, features: np.ndarray) -> np.ndarray:
+        return self.engine.predict_features(features)
 
     # ------------------------------------------------------------------
     @property
@@ -207,6 +276,8 @@ class ModelServer:
         return {
             "status": "shedding" if shedding else "ok",
             "engine": self.engine.describe(),
+            "bundle_path": self.bundle_path,
+            "reloads": self.reloads,
             "batcher": {"depth": self.batcher.depth,
                         **self.batcher.stats},
             "shedder": (None if self.shedder is None
@@ -215,6 +286,69 @@ class ModelServer:
                               "shedding": shedding,
                               **self.shedder.stats}),
         }
+
+    # ------------------------------------------------------------------
+    # Hot reload
+    # ------------------------------------------------------------------
+    def reload(self, bundle_path: Optional[str] = None) -> Dict[str, Any]:
+        """Atomically swap in a freshly ``verify()``-ed engine.
+
+        The new bundle is CRC-verified, structurally validated, and
+        engine-constructed (including the packed-path selfcheck)
+        *before* the swap — any failure raises :class:`ReloadError` and
+        the old engine keeps serving untouched.  Returns a summary dict
+        (also the ``POST /reload`` response body).
+        """
+        path = bundle_path or self.bundle_path
+        if not path:
+            raise ReloadError(
+                "no bundle path configured — start the server with "
+                "bundle_path= (or POST {\"bundle\": \"path\"})")
+        with self._reload_lock:
+            try:
+                ModelBundle.verify(path)
+                engine = InferenceEngine.from_path(path,
+                                                   **self.engine_options)
+            except (BundleError, EngineSelfCheckError, OSError) as exc:
+                raise ReloadError(
+                    f"reload of {path!r} rejected "
+                    f"({type(exc).__name__}: {exc}); "
+                    "previous engine keeps serving") from exc
+            old_fingerprint = self.engine.bundle.info.get(
+                "config_fingerprint")
+            self.engine = engine  # atomic swap behind _predict_batch
+            self.bundle_path = path
+            self.reloads += 1
+            get_registry().inc("serve.reload.success")
+        return {
+            "reloaded": True,
+            "reloads": self.reloads,
+            "bundle_path": path,
+            "previous_fingerprint": old_fingerprint,
+            "engine": engine.describe(),
+        }
+
+    def install_signal_handlers(self) -> bool:
+        """Route ``SIGHUP`` to :meth:`reload` (main thread only).
+
+        Returns whether the handler was installed; a failed reload from
+        a signal never propagates (the old engine keeps serving and the
+        rejection is counted in ``serve.reload.rejected``).
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return False
+
+        def _on_hup(signum, frame):  # pragma: no cover - signal path
+            try:
+                self.reload()
+            except ReloadError:
+                get_registry().inc("serve.reload.rejected")
+
+        try:
+            signal.signal(signal.SIGHUP, _on_hup)
+        except (ValueError, OSError, AttributeError):
+            return False
+        return True
 
     # ------------------------------------------------------------------
     def start(self) -> "ModelServer":
@@ -229,8 +363,13 @@ class ModelServer:
         return self
 
     def serve_forever(self) -> None:
-        """Serve on the calling thread (CLI entry point)."""
+        """Serve on the calling thread (CLI entry point).
+
+        Installs the SIGHUP → :meth:`reload` handler when running on
+        the main thread.
+        """
         self._started = True
+        self.install_signal_handlers()
         try:
             self._httpd.serve_forever()
         finally:

@@ -64,7 +64,8 @@ from .regress import (DEFAULT_ACCURACY_SPEC, DEFAULT_STAGE_SPEC,
                       DEFAULT_WALL_SPEC, CheckResult, GateReport, GateSpec,
                       check_series, gate_run, mad, rolling_baseline,
                       tolerance, with_threshold)
-from .report import format_table, render_report, stage_breakdown
+from .report import (diagnostics_section, format_table, render_report,
+                     sparkline, stage_breakdown, trend_section)
 from .tracing import (SpanNode, Tracer, add_bytes, clock, current_span,
                       get_tracer, set_tracer, span)
 
@@ -83,7 +84,8 @@ __all__ = [
     "export_prometheus", "parse_prometheus", "sanitize_metric_name",
     "encode_non_finite", "decode_non_finite", "NONFINITE_KEY",
     # report
-    "format_table", "render_report", "stage_breakdown",
+    "format_table", "render_report", "stage_breakdown", "sparkline",
+    "trend_section", "diagnostics_section",
     # ledger
     "RunRecord", "RunLedger", "LEDGER_SCHEMA_VERSION",
     "DEFAULT_LEDGER_DIR", "git_info", "env_fingerprint", "env_digest",

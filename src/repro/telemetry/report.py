@@ -8,6 +8,12 @@ tree, profiler — into a single markdown document with:
 * the top-k hottest autograd ops (forward + backward time, FLOPs);
 * per-layer forward costs;
 * a metrics summary table (counters, gauges, histogram quantiles);
+* cross-run **sparkline trends** from the run ledger
+  (:meth:`~repro.telemetry.ledger.RunLedger.stage_series` /
+  :meth:`~repro.telemetry.ledger.RunLedger.metric_series`) when a ledger
+  is passed;
+* per-epoch HD drift / saturation trends from
+  ``DiagnosticsCallback.summary()`` when diagnostics are passed;
 * the raw span tree for drill-down.
 
 ``scripts/profile_run.py`` prints this to the console and writes it next
@@ -22,7 +28,8 @@ from typing import Dict, List, Optional, Sequence
 from .metrics import MetricsRegistry, get_registry
 from .tracing import Tracer, get_tracer
 
-__all__ = ["format_table", "stage_breakdown", "render_report"]
+__all__ = ["format_table", "stage_breakdown", "sparkline",
+           "trend_section", "diagnostics_section", "render_report"]
 
 #: Canonical pipeline stage order for the breakdown table (paper Fig. 5's
 #: extract → manifold → encode → similarity → update decomposition).
@@ -127,12 +134,147 @@ def stage_breakdown(tracer: Optional[Tracer] = None
     return rows
 
 
+#: Glyph ramp for :func:`sparkline` (eight block heights).
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Placeholder glyph for non-finite points inside a sparkline.
+_SPARK_GAP = "·"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a numeric series as a unicode block sparkline.
+
+    The series is min-max scaled onto the eight block glyphs ``▁..█``;
+    non-finite points render as ``·`` without poisoning the scale, and a
+    constant series renders flat at mid-height (no fake trend).  When
+    ``width`` is given only the **newest** ``width`` points are drawn —
+    the report cares about where a series is heading, not its ancient
+    history.
+    """
+    vals = [float(v) for v in values]
+    if width is not None and width > 0 and len(vals) > width:
+        vals = vals[-width:]
+    if not vals:
+        return ""
+    finite = [v for v in vals if math.isfinite(v)]
+    if not finite:
+        return _SPARK_GAP * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in vals:
+        if not math.isfinite(v):
+            out.append(_SPARK_GAP)
+        elif span <= 0.0:
+            out.append(_SPARK_BLOCKS[len(_SPARK_BLOCKS) // 2])
+        else:
+            idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1) + 0.5)
+            out.append(_SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
+def _series_row(name: str, series: Sequence[float],
+                width: int) -> List[object]:
+    delta = (series[-1] - series[-2] if len(series) >= 2 else math.nan)
+    return [name, len(series), float(series[-1]), float(delta),
+            sparkline(series, width)]
+
+
+def trend_section(ledger, pipeline: Optional[str] = None,
+                  config_fingerprint: Optional[str] = None,
+                  fields: Sequence[str] = ("final_accuracy",
+                                           "test_accuracy", "wall_s"),
+                  width: int = 32) -> Optional[str]:
+    """Cross-run sparkline table from a :class:`RunLedger`.
+
+    One row per non-empty series: every canonical stage's historical
+    self-time (:meth:`RunLedger.stage_series`) plus the scalar record
+    fields (:meth:`RunLedger.metric_series`).  ``delta`` is last-minus-
+    previous so a regression is visible without reading the glyphs.
+    Returns ``None`` when the ledger has no matching series — the report
+    simply omits the section instead of rendering an empty table.
+    """
+    rows: List[List[object]] = []
+    for span_name in STAGE_ORDER:
+        stage = span_name[len("stage."):]
+        series = ledger.stage_series(stage, pipeline, config_fingerprint)
+        if series:
+            rows.append(_series_row(span_name, series, width))
+    for field in fields:
+        series = ledger.metric_series(field, pipeline, config_fingerprint)
+        if series:
+            rows.append(_series_row(field, series, width))
+    if not rows:
+        return None
+    return format_table(["series", "runs", "last", "delta", "trend"], rows)
+
+
+def diagnostics_section(diagnostics: Dict[str, object],
+                        width: int = 32) -> Optional[str]:
+    """Per-epoch HD drift / saturation sparkline table.
+
+    Takes a ``DiagnosticsCallback.summary()`` dict and renders one row
+    per tracked signal over ``per_epoch``: class-matrix drift (total and
+    relative), saturation fraction, max off-diagonal confusability and
+    train accuracy.  Returns ``None`` when there are no per-epoch
+    records (e.g. a bare predict-only run).
+    """
+    per_epoch = list(diagnostics.get("per_epoch") or [])
+    if not per_epoch:
+        return None
+
+    def _get(extract) -> List[float]:
+        out = []
+        for record in per_epoch:
+            try:
+                value = extract(record)
+            except (KeyError, TypeError):
+                value = None
+            out.append(float(value) if isinstance(value, (int, float))
+                       and not isinstance(value, bool) else math.nan)
+        return out
+
+    signals = [
+        ("drift.total", _get(lambda r: r["drift"]["total"])),
+        ("drift.relative", _get(lambda r: r["drift"]["relative"])),
+        ("saturation_fraction", _get(lambda r: r["saturation_fraction"])),
+        ("confusability.max",
+         _get(lambda r: r["confusability"]["off_diag_max"])),
+        ("train_acc", _get(lambda r: r.get("train_acc"))),
+    ]
+    rows: List[List[object]] = []
+    for name, series in signals:
+        if all(math.isnan(v) for v in series):
+            continue
+        finite = [v for v in series if math.isfinite(v)]
+        rows.append([name, len(series),
+                     finite[0] if finite else math.nan,
+                     finite[-1] if finite else math.nan,
+                     sparkline(series, width)])
+    if not rows:
+        return None
+    return format_table(["signal", "epochs", "first", "last", "trend"],
+                        rows)
+
+
 def render_report(registry: Optional[MetricsRegistry] = None,
                   tracer: Optional[Tracer] = None,
                   profiler=None,
                   top_k: int = 10,
-                  title: str = "Telemetry run report") -> str:
-    """Assemble the full markdown run report."""
+                  title: str = "Telemetry run report",
+                  ledger=None,
+                  pipeline: Optional[str] = None,
+                  config_fingerprint: Optional[str] = None,
+                  diagnostics: Optional[Dict[str, object]] = None) -> str:
+    """Assemble the full markdown run report.
+
+    ``ledger`` (a :class:`repro.telemetry.ledger.RunLedger`) adds a
+    cross-run sparkline trend section (optionally filtered by
+    ``pipeline`` / ``config_fingerprint``); ``diagnostics`` (a
+    ``DiagnosticsCallback.summary()`` dict) adds the per-epoch HD
+    drift/saturation trend section.  Both are optional and omitted from
+    the document when empty, so existing callers are unaffected.
+    """
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
     sections: List[str] = [f"# {title}", ""]
@@ -193,6 +335,25 @@ def render_report(registry: Optional[MetricsRegistry] = None,
         sections.append(format_table(
             ["metric", "type", "value/mean", "p50", "p95", "count"], rows))
         sections.append("")
+
+    # ------------------------------------------------------------------
+    if ledger is not None:
+        trends = trend_section(ledger, pipeline=pipeline,
+                               config_fingerprint=config_fingerprint)
+        if trends is not None:
+            scope = pipeline if pipeline else "all pipelines"
+            sections.append(f"## Ledger trends ({scope}, oldest → newest)")
+            sections.append("")
+            sections.append(trends)
+            sections.append("")
+
+    if diagnostics is not None:
+        diag = diagnostics_section(diagnostics)
+        if diag is not None:
+            sections.append("## HD diagnostics (per-epoch)")
+            sections.append("")
+            sections.append(diag)
+            sections.append("")
 
     # ------------------------------------------------------------------
     sections.append("## Span tree")

@@ -1,0 +1,203 @@
+"""Sparkline trend rendering: report sparklines, ledger trends,
+per-epoch HD diagnostics sections."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (DiagnosticsCallback, MetricsRegistry, RunLedger,
+                             RunRecord, Tracer, diagnostics_section,
+                             render_report, sparkline, trend_section)
+
+
+def _record(i, pipeline="NSHD", **kwargs):
+    defaults = dict(
+        pipeline=pipeline,
+        config={"dim": 128},
+        seed=0,
+        wall_s=10.0 + i,
+        stage_times={"extract": 1.0 + 0.25 * i, "encode": 0.5},
+        stage_calls={"extract": 3, "encode": 3},
+        final_accuracy=0.80 + 0.01 * i,
+        test_accuracy=0.75,
+        git={"sha": "deadbeef", "short_sha": "deadbeef"},
+        env={"python": "3"},
+    )
+    defaults.update(kwargs)
+    return RunRecord(**defaults)
+
+
+class TestSparkline:
+    def test_monotone_ramp_uses_full_glyph_range(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_is_flat_mid_height(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▅▅▅"
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_single_point(self):
+        assert len(sparkline([3.14])) == 1
+
+    def test_nan_renders_as_gap_without_poisoning_scale(self):
+        line = sparkline([1.0, float("nan"), 3.0])
+        assert line == "▁·█"
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 4) == "····"
+
+    def test_inf_is_a_gap(self):
+        line = sparkline([1.0, float("inf"), 2.0])
+        assert line[1] == "·"
+
+    def test_width_keeps_newest_points(self):
+        # Oldest half descends, newest half ascends: the window must
+        # show the ascent only.
+        values = list(range(10, 0, -1)) + list(range(10))
+        line = sparkline(values, width=10)
+        assert len(line) == 10
+        assert line == sparkline(list(range(10)))
+
+    def test_width_larger_than_series_is_noop(self):
+        assert sparkline([1, 2], width=100) == sparkline([1, 2])
+
+    def test_extremes_map_to_extreme_glyphs(self):
+        line = sparkline([0.0, 100.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+
+class TestTrendSection:
+    def test_empty_ledger_returns_none(self, tmp_path):
+        assert trend_section(RunLedger(str(tmp_path))) is None
+
+    def test_stage_and_metric_rows(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for i in range(5):
+            ledger.append(_record(i))
+        table = trend_section(ledger, pipeline="NSHD")
+        assert "stage.extract" in table
+        assert "stage.encode" in table
+        assert "final_accuracy" in table
+        assert "wall_s" in table
+        # no manifold/similarity rows: those series are empty
+        assert "stage.manifold" not in table
+        # glyphs present
+        assert any(g in table for g in "▁▂▃▄▅▆▇█")
+
+    def test_delta_is_last_minus_previous(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for i in range(3):
+            ledger.append(_record(i))
+        table = trend_section(ledger)
+        extract_row = next(line for line in table.splitlines()
+                           if "stage.extract" in line)
+        assert "0.2500" in extract_row
+
+    def test_pipeline_filter(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        ledger.append(_record(0, pipeline="NSHD"))
+        ledger.append(_record(1, pipeline="VanillaHD"))
+        table = trend_section(ledger, pipeline="VanillaHD")
+        row = next(line for line in table.splitlines()
+                   if "stage.extract" in line)
+        cells = [cell.strip() for cell in row.split("|")]
+        # only the VanillaHD run counts toward the series
+        assert cells[2] == "1"
+
+    def test_single_run_has_nan_delta(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        ledger.append(_record(0))
+        table = trend_section(ledger)
+        assert table is not None  # single-point series still render
+
+
+class TestDiagnosticsSection:
+    @staticmethod
+    def _summary(epochs=4):
+        return {"per_epoch": [
+            {"epoch": e,
+             "drift": {"total": 8.0 / (e + 1), "relative": 0.5 / (e + 1)},
+             "saturation_fraction": 0.02 * e,
+             "confusability": {"off_diag_max": 0.4 - 0.05 * e},
+             "margin": {},
+             "train_acc": 0.6 + 0.1 * e}
+            for e in range(epochs)]}
+
+    def test_empty_returns_none(self):
+        assert diagnostics_section({}) is None
+        assert diagnostics_section({"per_epoch": []}) is None
+
+    def test_all_signals_render(self):
+        table = diagnostics_section(self._summary())
+        for signal in ("drift.total", "drift.relative",
+                       "saturation_fraction", "confusability.max",
+                       "train_acc"):
+            assert signal in table
+        assert any(g in table for g in "▁▂▃▄▅▆▇█")
+
+    def test_missing_train_acc_drops_row(self):
+        summary = self._summary()
+        for record in summary["per_epoch"]:
+            del record["train_acc"]
+        table = diagnostics_section(summary)
+        assert "train_acc" not in table
+        assert "drift.total" in table
+
+    def test_malformed_records_do_not_raise(self):
+        summary = {"per_epoch": [{"epoch": 0}, {"epoch": 1,
+                                                "drift": "garbage"}]}
+        assert diagnostics_section(summary) is None
+
+    def test_real_callback_summary_renders(self):
+        class FakeTrainer:
+            class_matrix = np.zeros((3, 16))
+
+        trainer = FakeTrainer()
+        registry = MetricsRegistry()
+        diag = DiagnosticsCallback(trainer, registry=registry)
+        diag.on_fit_start(trainer, total_epochs=2)
+        rng = np.random.default_rng(0)
+        for epoch in range(2):
+            trainer.class_matrix = rng.standard_normal((3, 16))
+            diag.on_epoch_end(epoch, {"train_acc": 0.5 + 0.1 * epoch})
+        diag.on_fit_end({})
+        table = diagnostics_section(diag.summary())
+        assert "drift.total" in table and "train_acc" in table
+
+
+class TestRenderReportWiring:
+    def test_sections_present_when_sources_given(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        for i in range(3):
+            ledger.append(_record(i))
+        report = render_report(
+            registry=MetricsRegistry(), tracer=Tracer(),
+            ledger=ledger, pipeline="NSHD",
+            diagnostics=TestDiagnosticsSection._summary())
+        assert "## Ledger trends" in report
+        assert "## HD diagnostics (per-epoch)" in report
+
+    def test_sections_absent_by_default(self):
+        report = render_report(registry=MetricsRegistry(), tracer=Tracer())
+        assert "Ledger trends" not in report
+        assert "HD diagnostics" not in report
+
+    def test_empty_sources_are_omitted_not_rendered_empty(self, tmp_path):
+        report = render_report(
+            registry=MetricsRegistry(), tracer=Tracer(),
+            ledger=RunLedger(str(tmp_path / "missing")),
+            diagnostics={"per_epoch": []})
+        assert "Ledger trends" not in report
+        assert "HD diagnostics" not in report
+
+    def test_config_fingerprint_filter(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        ledger.append(_record(0, config={"dim": 128}))
+        ledger.append(_record(1, config={"dim": 999}))
+        fp = ledger.records()[0].config_fingerprint
+        report = render_report(registry=MetricsRegistry(), tracer=Tracer(),
+                               ledger=ledger, config_fingerprint=fp)
+        assert "## Ledger trends" in report
