@@ -24,4 +24,7 @@ bash scripts/check_serve.sh
 # Stage-graph parity: train -> freeze -> checkpoint -> serve agreement on
 # a freshly trained model (see scripts/check_stage_parity.sh).
 bash scripts/check_stage_parity.sh
+# Fleet fault tolerance: supervised workers + router chaos-tested under
+# load (kill / hang / poison; see scripts/check_fleet.sh).
+bash scripts/check_fleet.sh
 echo "Results tables are under results/, run ledger under results/ledger/"

@@ -11,10 +11,17 @@ Measures three ways of answering the same prediction stream with one
 3. **closed-loop** — ``--clients`` generator threads submitting
    samples through the :class:`~repro.serve.batching.MicroBatcher`,
    recording per-request latency; reports throughput and latency
-   P50/P95/P99.
+   P50/P95/P99;
+4. **http** — the same closed loop over a real
+   :class:`~repro.serve.server.ModelServer` socket, each client thread
+   holding one persistent keep-alive ``http.client.HTTPConnection``
+   (a stale pooled connection is replayed once on a fresh one, and
+   both reconnects and hard connection errors are counted — a healthy
+   run reuses every connection and reports zero of each).
 
 The run is appended to the run ledger (``kind="serve"``) with the
-latency quantiles and the batcher's telemetry snapshot, and gated
+latency quantiles, connection-error counts, and the batcher's
+telemetry snapshot, and gated
 against the rolling median+MAD baseline exactly like the training smoke
 runs (``scripts/check_regression.sh``).  ``--min-speedup`` turns the
 batched-vs-single ratio into an exit status for CI.
@@ -33,6 +40,7 @@ Usage::
 """
 
 import argparse
+import http.client
 import json
 import os
 import sys
@@ -47,7 +55,7 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro import telemetry  # noqa: E402
-from repro.serve import InferenceEngine, ModelBundle  # noqa: E402
+from repro.serve import InferenceEngine, ModelBundle, ModelServer  # noqa: E402
 from repro.serve.batching import MicroBatcher  # noqa: E402
 from repro.serve.bundle import BUNDLE_VERSION  # noqa: E402
 from repro.telemetry import regress  # noqa: E402
@@ -79,6 +87,9 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="micro-batcher worker threads")
     parser.add_argument("--max-latency-ms", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-http", action="store_true",
+                        help="skip the HTTP keep-alive phase (sockets "
+                             "through a real ModelServer)")
     parser.add_argument("--float-path", action="store_true",
                         help="bench the float cosine path instead of the "
                              "bit-packed fast path")
@@ -196,6 +207,97 @@ def bench_closed_loop(engine: InferenceEngine, samples: np.ndarray,
     }
 
 
+def bench_http(engine: InferenceEngine, samples: np.ndarray,
+               batch: int, clients: int, workers: int,
+               max_latency_ms: float) -> dict:
+    """Closed loop over a real socket with keep-alive reuse.
+
+    Each client thread owns one persistent
+    :class:`http.client.HTTPConnection` for its whole request share; a
+    request that dies on a stale/broken connection is replayed once on
+    a fresh one (counted as a reconnect) before it becomes a hard
+    connection error.  Under normal operation both counts are zero —
+    they are recorded in the ledger so a regression back to
+    connection-per-request (or a server that starts dropping keep-alive)
+    shows up in the baseline gate.
+    """
+    latencies: list = [[] for _ in range(clients)]
+    conn_errors = [0] * clients
+    http_errors = [0] * clients
+    reconnects = [0] * clients
+    completed = [0] * clients
+    shares = np.array_split(np.arange(len(samples)), clients)
+    bodies = [json.dumps({"features": samples[i].tolist()}).encode("ascii")
+              for i in range(len(samples))]
+    headers = {"Content-Type": "application/json"}
+
+    server = ModelServer(engine, port=0, max_batch_size=batch,
+                         max_latency_ms=max_latency_ms, workers=workers,
+                         high_watermark=None, timeout_s=30.0).start()
+    host, port = server.address
+    try:
+        def once(conn: http.client.HTTPConnection, i: int) -> int:
+            conn.request("POST", "/predict", bodies[i], headers)
+            response = conn.getresponse()
+            response.read()
+            return response.status
+
+        def client(cid: int) -> None:
+            conn = http.client.HTTPConnection(host, port, timeout=30.0)
+            for i in shares[cid]:
+                t0 = telemetry.clock()
+                try:
+                    status = once(conn, int(i))
+                except (http.client.HTTPException, OSError):
+                    # Stale keep-alive connection: replay once, fresh.
+                    conn.close()
+                    reconnects[cid] += 1
+                    conn = http.client.HTTPConnection(host, port,
+                                                      timeout=30.0)
+                    try:
+                        status = once(conn, int(i))
+                    except (http.client.HTTPException, OSError):
+                        conn_errors[cid] += 1
+                        conn.close()
+                        conn = http.client.HTTPConnection(host, port,
+                                                          timeout=30.0)
+                        continue
+                if status != 200:
+                    http_errors[cid] += 1
+                    continue
+                completed[cid] += 1
+                latencies[cid].append(1000.0 * (telemetry.clock() - t0))
+            conn.close()
+
+        threads = [threading.Thread(target=client, args=(cid,))
+                   for cid in range(clients)]
+        t0 = telemetry.clock()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = telemetry.clock() - t0
+    finally:
+        server.stop()
+    lat = np.concatenate([np.asarray(chunk) for chunk in latencies]) \
+        if any(latencies) else np.array([0.0])
+    done = int(sum(completed))
+    return {
+        "wall_s": elapsed,
+        "throughput_rps": done / max(elapsed, 1e-9),
+        "completed": done,
+        "connection_errors": int(sum(conn_errors)),
+        "reconnects": int(sum(reconnects)),
+        "http_errors": int(sum(http_errors)),
+        "latency_ms": {
+            "p50": float(np.percentile(lat, 50)),
+            "p95": float(np.percentile(lat, 95)),
+            "p99": float(np.percentile(lat, 99)),
+            "max": float(lat.max()),
+        },
+    }
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     telemetry.get_registry().reset()
@@ -221,6 +323,10 @@ def main(argv=None) -> int:
     batched = bench_batched(engine, samples, args.batch)
     loop = bench_closed_loop(engine, samples, args.batch, args.clients,
                              args.workers, args.max_latency_ms)
+    http_loop = None
+    if not args.no_http:
+        http_loop = bench_http(engine, samples, args.batch, args.clients,
+                               args.workers, args.max_latency_ms)
     wall_s = telemetry.clock() - t_start
     speedup = batched["throughput_rps"] / max(single["throughput_rps"],
                                               1e-9)
@@ -239,6 +345,12 @@ def main(argv=None) -> int:
           f"p99={loop['latency_ms']['p99']:.2f}")
     if loop["errors"]:
         print(f"closed-loop errors: {loop['errors']}")
+    if http_loop is not None:
+        print(f"http        : {http_loop['throughput_rps']:>10.1f} req/s   "
+              f"(keep-alive, p50={http_loop['latency_ms']['p50']:.2f} "
+              f"p99={http_loop['latency_ms']['p99']:.2f} ms, "
+              f"reconnects={http_loop['reconnects']}, "
+              f"conn errors={http_loop['connection_errors']})")
 
     config = {
         "bundle": os.path.basename(args.bundle) if args.bundle else None,
@@ -268,6 +380,15 @@ def main(argv=None) -> int:
         "mean_batch": loop["mean_batch"],
         "errors": loop["errors"],
     }
+    if http_loop is not None:
+        record.stage_times["serve.http"] = http_loop["wall_s"]
+        record.extra["serve"]["http"] = {
+            "rps": http_loop["throughput_rps"],
+            "latency_ms": http_loop["latency_ms"],
+            "connection_errors": http_loop["connection_errors"],
+            "reconnects": http_loop["reconnects"],
+            "http_errors": http_loop["http_errors"],
+        }
 
     ledger = RunLedger(args.ledger_dir)
     failed = False
@@ -283,7 +404,8 @@ def main(argv=None) -> int:
     if args.json_out:
         with open(args.json_out, "w") as handle:
             json.dump({"single": single, "batched": batched,
-                       "closed_loop": loop, "speedup_batched": speedup,
+                       "closed_loop": loop, "http": http_loop,
+                       "speedup_batched": speedup,
                        "speedup_closed_loop": loop_speedup,
                        "config": config},
                       handle, indent=2, sort_keys=True)

@@ -14,8 +14,12 @@ Implements the robustness story around the paper's HD pipelines:
 * :mod:`~repro.reliability.degrade` — serving-side overload
   degradation: :class:`LoadShedder` watermark admission control plus the
   shed/deadline error types surfaced by :mod:`repro.serve`.
+* :mod:`~repro.reliability.circuit` — :class:`CircuitBreaker`, the
+  per-dependency closed → open → half-open state machine the fleet
+  router wraps around each worker process.
 """
 
+from .circuit import CircuitBreaker, CircuitOpenError
 from .degrade import DeadlineExceededError, LoadShedder, OverloadShedError
 from .faults import (BatchCorruptionInjector, BitFlipInjector,
                      CheckpointTruncator, ComposeInjector, FaultInjector,
@@ -35,4 +39,5 @@ __all__ = [
     "sweep_systems",
     "ResilientPipeline",
     "LoadShedder", "OverloadShedError", "DeadlineExceededError",
+    "CircuitBreaker", "CircuitOpenError",
 ]

@@ -16,6 +16,11 @@ once, serves many):
   watermark overload shedding (:mod:`repro.reliability.degrade`).
 * :mod:`~repro.serve.server` — :class:`ModelServer`, stdlib HTTP
   endpoints ``/predict``, ``/healthz``, ``/metrics`` (Prometheus).
+* :mod:`~repro.serve.fleet` — :class:`Supervisor`, N supervised worker
+  processes with heartbeat probes, exponential-backoff restart, and
+  crash-loop quarantine.
+* :mod:`~repro.serve.router` — :class:`Router`, the consistent-hash,
+  health-gated, circuit-broken fleet front-end.
 
 Quickstart::
 
@@ -30,6 +35,8 @@ Quickstart::
 from .batching import MicroBatcher
 from .bundle import BUNDLE_SECTION, BUNDLE_VERSION, BundleError, ModelBundle
 from .engine import EngineSelfCheckError, InferenceEngine
+from .fleet import FleetError, StaticFleet, Supervisor, Worker, free_port
+from .router import HashRing, Router
 from .server import ModelServer, ReloadError, RequestError
 
 __all__ = [
@@ -37,4 +44,6 @@ __all__ = [
     "InferenceEngine", "EngineSelfCheckError",
     "MicroBatcher",
     "ModelServer", "ReloadError", "RequestError",
+    "Supervisor", "StaticFleet", "Worker", "FleetError", "free_port",
+    "Router", "HashRing",
 ]

@@ -25,6 +25,13 @@ MicroBatcher / LoadShedder / engine knobs::
     build_extractor = true
 
 Flat top-level keys (``port = 8000``) are accepted too.
+
+``--fleet N`` switches to the fault-tolerant multi-process mode: a
+:class:`~repro.serve.fleet.Supervisor` spawns N worker processes (each
+one of these CLI invocations on its own port, inheriting the tuning
+flags above) and a :class:`~repro.serve.router.Router` front-end
+consistent-hashes ``/predict`` across the healthy ones with per-worker
+circuit breakers.  See ``docs/FLEET.md``.
 """
 
 from __future__ import annotations
@@ -36,9 +43,12 @@ from typing import Any, Dict, List, Optional
 
 from .bundle import BundleError, ModelBundle
 from .engine import EngineSelfCheckError, InferenceEngine
+from .fleet import FleetError, Supervisor
+from .router import Router
 from .server import ModelServer
 
-__all__ = ["main", "build_server", "load_config"]
+__all__ = ["main", "build_server", "build_fleet", "load_config",
+           "worker_args_from"]
 
 #: Config keys per section → ModelServer / InferenceEngine kwarg names.
 _SERVER_KEYS = ("host", "port")
@@ -104,6 +114,13 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                         help="serve features only (skip rebuilding the CNN)")
     parser.add_argument("--dry-run", action="store_true",
                         help="build engine+server, print health JSON, exit")
+    parser.add_argument("--fleet", type=int, default=0, metavar="N",
+                        help="serve through a supervised N-worker fleet "
+                             "behind a consistent-hash router (0 = "
+                             "single-process mode)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="arm the POST /slow fault-injection "
+                             "endpoint (tests/chaos harness only)")
     return parser.parse_args(argv)
 
 
@@ -147,11 +164,66 @@ def build_server(args: argparse.Namespace) -> ModelServer:
         timeout_s=float(knob("timeout_s", 5.0)),
         bundle_path=args.bundle,
         engine_options=engine_options,
+        chaos=True if getattr(args, "chaos", False) else None,
     )
+
+
+def worker_args_from(args: argparse.Namespace) -> List[str]:
+    """Forward explicitly-set tuning flags to fleet worker processes
+    (each worker is its own ``python -m repro.serve`` invocation)."""
+    out: List[str] = []
+    if args.config:
+        out += ["--config", args.config]
+    for flag, name in (("--max-batch-size", "max_batch_size"),
+                       ("--max-latency-ms", "max_latency_ms"),
+                       ("--workers", "workers"),
+                       ("--high-watermark", "high_watermark"),
+                       ("--timeout-s", "timeout_s"),
+                       ("--cache-size", "cache_size")):
+        value = getattr(args, name, None)
+        if value is not None:
+            out += [flag, str(value)]
+    if args.no_packed:
+        out.append("--no-packed")
+    if args.no_extractor:
+        out.append("--no-extractor")
+    if args.chaos:
+        out.append("--chaos")
+    return out
+
+
+def build_fleet(args: argparse.Namespace) -> Router:
+    """Resolve flags into a bound (not yet serving) fleet router."""
+    config = load_config(args.config) if args.config else {}
+    ModelBundle.verify(args.bundle)  # fail before spawning anything
+    supervisor = Supervisor(
+        args.bundle, workers=int(args.fleet),
+        host=str(args.host if args.host is not None
+                 else config.get("host", "127.0.0.1")),
+        worker_args=worker_args_from(args),
+        chaos=args.chaos,
+    )
+    router = Router(
+        supervisor,
+        host=str(args.host if args.host is not None
+                 else config.get("host", "127.0.0.1")),
+        port=int(args.port if args.port is not None
+                 else config.get("port", 8000)),
+        own_fleet=True,
+    )
+    supervisor.start(wait_ready=False)
+    try:
+        supervisor.wait_ready()
+    except FleetError:
+        supervisor.stop()
+        raise
+    return router
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
+    if args.fleet:
+        return _main_fleet(args)
     try:
         server = build_server(args)
     except (BundleError, EngineSelfCheckError, OSError,
@@ -168,12 +240,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     host, port = server.address
     print(f"serving {args.bundle} on http://{host}:{port} "
           f"(POST /predict, /reload; GET /healthz, /metrics; "
-          f"SIGHUP reloads)")
+          f"SIGHUP reloads, SIGTERM drains)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
         server.stop()
+    return 0
+
+
+def _main_fleet(args: argparse.Namespace) -> int:
+    try:
+        router = build_fleet(args)
+    except (BundleError, EngineSelfCheckError, FleetError, OSError,
+            ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        print(json.dumps(router.health(), indent=2, sort_keys=True,
+                         default=str))
+        router.stop()
+        return 0
+
+    host, port = router.address
+    print(f"serving {args.bundle} through a {args.fleet}-worker fleet "
+          f"on http://{host}:{port} (POST /predict, /reload; "
+          f"GET /healthz, /metrics; SIGTERM drains)")
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down fleet")
+        router.stop()
     return 0
 
 

@@ -68,7 +68,10 @@ class MicroBatcher:
         ``(n, F) -> (n,)`` batch classifier — typically
         ``engine.predict_features``.  Duck-typed: anything with that
         signature works (so :class:`repro.reliability.ResilientPipeline`
-        can sit in between).
+        can sit in between).  May instead return ``(labels, meta)``;
+        ``meta`` is then attached to every row's result as
+        ``(label, meta)`` so callers can tell which engine snapshot
+        served the batch.
     max_batch_size:
         Largest batch a worker takes in one bite.
     max_latency_ms:
@@ -160,7 +163,10 @@ class MicroBatcher:
                 f"(queue depth {len(self._queue)})")
         if request.error is not None:
             raise request.error
-        return int(request.result)
+        result = request.result
+        # Tagged batches (predict_fn returned ``(labels, meta)``) come
+        # back as ``(label, meta)`` tuples — hand them over intact.
+        return result if isinstance(result, tuple) else int(result)
 
     def submit_many(self, features: np.ndarray,
                     timeout_s: Optional[float] = None) -> List[int]:
@@ -218,7 +224,9 @@ class MicroBatcher:
                 first_error = first_error or request.error
                 results.append(-1)
             else:
-                results.append(int(request.result))
+                result = request.result
+                results.append(result if isinstance(result, tuple)
+                               else int(result))
         if first_error is not None:
             raise first_error
         return results
@@ -276,7 +284,16 @@ class MicroBatcher:
             try:
                 with span("serve.batcher.dispatch",
                           nbytes=int(stacked.nbytes)):
-                    labels = np.asarray(self.predict_fn(stacked))
+                    result = self.predict_fn(stacked)
+                # ``predict_fn`` may tag its batch: a ``(labels, meta)``
+                # return delivers each row as ``(label, meta)``, letting
+                # callers attribute every answer to the engine snapshot
+                # that actually computed it (hot reload swaps engines
+                # *between* batches, not within one).
+                meta = None
+                if isinstance(result, tuple) and len(result) == 2:
+                    result, meta = result
+                labels = np.asarray(result)
             except BaseException as exc:  # surfaced per request
                 with self._cv:
                     self.stats["errors"] += len(live)
@@ -290,7 +307,8 @@ class MicroBatcher:
             registry.inc("serve.batcher.batches")
             registry.inc("serve.batcher.completed", len(live))
             for request, label in zip(live, labels):
-                request.finish(int(label))
+                request.finish(int(label) if meta is None
+                               else (int(label), meta))
 
     # ------------------------------------------------------------------
     def shutdown(self, timeout_s: float = 10.0) -> None:

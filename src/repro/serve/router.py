@@ -1,0 +1,564 @@
+"""Fleet router: consistent-hash, health-gated request routing.
+
+The front door of the fault-tolerant serving fleet.  A stdlib
+:class:`ThreadingHTTPServer` (same zero-dependency style as
+:mod:`~repro.serve.server`) accepts client requests and forwards them to
+the worker processes a :class:`~repro.serve.fleet.Supervisor` (or
+:class:`~repro.serve.fleet.StaticFleet`) maintains:
+
+* **Consistent hashing.**  Each request body is digested (sha1) and
+  placed on a hash ring built over the *stable* fleet membership, then
+  served by the nearest *healthy* worker clockwise.  Identical feature
+  payloads therefore keep landing on the same worker, preserving each
+  worker's encoded-hypervector LRU locality; when a worker leaves
+  rotation only its arc of keys moves.
+* **Health gating + circuit breakers.**  Routing only considers workers
+  the supervisor reports ``up``, and each worker is additionally
+  wrapped in a :class:`~repro.reliability.CircuitBreaker` — a worker
+  that keeps erroring is skipped *before* a connection is spent on it,
+  and half-open probes let it back in gradually.
+* **Bounded retry.**  ``/predict`` is idempotent (pure function of the
+  payload), so connection resets, timeouts, and 5xx/503/504 worker
+  answers are retried on the next worker along the ring with a small
+  exponential backoff, up to ``max_attempts`` — a single crashed worker
+  costs affected requests one retry, not an error.
+* **Keep-alive connection pools.**  One persistent-connection pool per
+  worker; a stale pooled connection (worker restarted between requests)
+  is transparently replaced once before the attempt counts as a
+  failure.
+* **Graceful drain.**  SIGTERM stops the accept loop, waits for
+  in-flight requests, then stops the fleet — no request is abandoned
+  mid-flight.
+
+Endpoints: ``POST /predict`` (routed), ``GET /healthz`` (fleet +
+breaker summary), ``GET /metrics`` (Prometheus text of the router
+process registry — which already carries the supervisor's per-worker
+up/restart gauges, the breaker state gauges, and the router's own
+``fleet.router.*`` counters and latency quantiles), ``POST /reload``
+(broadcast to every live worker; any rejection answers 409 with the
+per-worker outcomes).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import http.client
+import json
+import signal
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..reliability.circuit import CircuitBreaker
+from ..telemetry import clock, get_registry, prometheus_text
+
+__all__ = ["Router", "HashRing"]
+
+_DISCONNECTS = (BrokenPipeError, ConnectionResetError, ConnectionAbortedError)
+
+#: Worker answers worth retrying on a different worker (the request is
+#: idempotent): server errors, shed (503), and deadline (504).
+_RETRYABLE_STATUSES = frozenset({500, 502, 503, 504})
+
+
+class HashRing:
+    """Consistent hash ring over worker ids (sha1 points).
+
+    ``replicas`` virtual points per worker smooth the key distribution;
+    :meth:`ordered` yields every distinct worker starting from the
+    request digest's position, which doubles as the retry order.
+    """
+
+    def __init__(self, worker_ids: List[str], replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = int(replicas)
+        self.worker_ids = list(worker_ids)
+        points: List[Tuple[int, str]] = []
+        for worker_id in self.worker_ids:
+            for replica in range(self.replicas):
+                digest = hashlib.sha1(
+                    f"{worker_id}#{replica}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"),
+                               worker_id))
+        points.sort()
+        self._points = points
+        self._hashes = [point[0] for point in points]
+
+    def ordered(self, key: bytes) -> List[str]:
+        """Distinct worker ids in ring order starting at ``key``."""
+        if not self._points:
+            return []
+        position = int.from_bytes(
+            hashlib.sha1(key).digest()[:8], "big")
+        start = bisect.bisect_left(self._hashes, position)
+        seen: List[str] = []
+        for i in range(len(self._points)):
+            worker_id = self._points[(start + i) % len(self._points)][1]
+            if worker_id not in seen:
+                seen.append(worker_id)
+                if len(seen) == len(self.worker_ids):
+                    break
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.worker_ids)
+
+
+class _WorkerClient:
+    """Keep-alive connection pool to one worker.
+
+    A pooled connection can be stale (the worker restarted since the
+    last request); the first send over a *reused* connection that dies
+    with a disconnect is transparently replayed once on a fresh
+    connection.  Timeouts and fresh-connection failures propagate — the
+    router decides whether to retry elsewhere.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 10.0,
+                 pool_size: int = 16):
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self.pool_size = int(pool_size)
+        self._pool: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+
+    def _checkout(self) -> Tuple[http.client.HTTPConnection, bool]:
+        with self._lock:
+            if self._pool:
+                return self._pool.pop(), True
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s), False
+
+    def _checkin(self, conn: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if len(self._pool) < self.pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def request(self, method: str, path: str, body: bytes = b"",
+                content_type: str = "application/json"
+                ) -> Tuple[int, bytes]:
+        conn, reused = self._checkout()
+        while True:
+            try:
+                conn.request(method, path, body=body or None,
+                             headers={"Content-Type": content_type})
+                response = conn.getresponse()
+                data = response.read()
+                status = response.status
+                will_close = response.will_close
+            except (http.client.RemoteDisconnected,
+                    *_DISCONNECTS) as exc:
+                conn.close()
+                if reused:
+                    # Stale keep-alive connection, not a worker fault:
+                    # one replay on a fresh socket.
+                    get_registry().inc("fleet.router.stale_connections")
+                    conn = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout_s)
+                    reused = False
+                    continue
+                raise exc
+            except Exception:
+                conn.close()
+                raise
+            if will_close:
+                conn.close()
+            else:
+                self._checkin(conn)
+            return status, data
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "_RouterHTTPServer"
+
+    def _send_json(self, status: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        self._send_raw(status, json.dumps(payload).encode("utf-8"),
+                       "application/json", headers)
+
+    def _send_raw(self, status: int, body: bytes, content_type: str,
+                  headers: Optional[Dict[str, str]] = None) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except _DISCONNECTS:
+            get_registry().inc("serve.client_disconnect")
+            self.close_connection = True
+
+    def log_message(self, format: str, *args: Any) -> None:
+        get_registry().inc("fleet.router.http.requests")
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        app = self.server.app
+        url = urllib.parse.urlsplit(self.path)
+        if url.path == "/healthz":
+            payload = app.health()
+            self._send_json(200 if payload["status"] != "down" else 503,
+                            payload)
+        elif url.path == "/metrics":
+            self._send_raw(200, prometheus_text().encode("utf-8"),
+                           "text/plain; charset=utf-8")
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        app = self.server.app
+        length = int(self.headers.get("Content-Length", 0))
+        try:
+            body = self.rfile.read(length)
+        except _DISCONNECTS:
+            get_registry().inc("serve.client_disconnect")
+            self.close_connection = True
+            return
+        if self.path == "/predict":
+            status, data, headers = app.route_predict(body)
+            self._send_raw(status, data, "application/json", headers)
+        elif self.path == "/reload":
+            status, payload = app.broadcast_reload(body)
+            self._send_json(status, payload)
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+
+class _RouterHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: "Router"
+
+    def handle_error(self, request, client_address) -> None:
+        import sys
+        exc = sys.exc_info()[1]
+        if isinstance(exc, _DISCONNECTS):
+            get_registry().inc("serve.client_disconnect")
+            return
+        super().handle_error(request, client_address)
+
+
+class Router:
+    """HTTP front-end routing ``/predict`` across a worker fleet.
+
+    Parameters
+    ----------
+    fleet:
+        A :class:`~repro.serve.fleet.Supervisor` or
+        :class:`~repro.serve.fleet.StaticFleet` (anything with
+        ``all_workers`` / ``healthy_workers`` / ``describe`` /
+        ``stop``).
+    host, port:
+        Bind address (``port=0`` → ephemeral, tests).
+    replicas:
+        Virtual ring points per worker.
+    max_attempts:
+        Upper bound on workers tried per request (including the first).
+    retry_backoff_s:
+        Base of the exponential inter-attempt backoff.
+    request_timeout_s:
+        Per-attempt socket timeout towards a worker.
+    breaker_options:
+        Keyword overrides for each worker's
+        :class:`~repro.reliability.CircuitBreaker`.
+    own_fleet:
+        Stop the fleet when the router stops (CLI mode).
+    """
+
+    def __init__(self, fleet: Any, host: str = "127.0.0.1", port: int = 0,
+                 replicas: int = 64, max_attempts: int = 3,
+                 retry_backoff_s: float = 0.05,
+                 request_timeout_s: float = 10.0,
+                 breaker_options: Optional[Dict[str, Any]] = None,
+                 own_fleet: bool = False):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.fleet = fleet
+        self.replicas = int(replicas)
+        self.max_attempts = int(max_attempts)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.request_timeout_s = float(request_timeout_s)
+        self.breaker_options = dict(breaker_options or {})
+        self.own_fleet = bool(own_fleet)
+        self.draining = False
+        self._ring: Optional[HashRing] = None
+        self._ring_members: Tuple[str, ...] = ()
+        self._clients: Dict[str, _WorkerClient] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._idle = threading.Condition()
+        self._httpd = _RouterHTTPServer((host, port), _RouterHandler)
+        self._httpd.app = self
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Fleet plumbing
+    # ------------------------------------------------------------------
+    def _ring_for(self, members: List[Tuple[str, Tuple[str, int]]]
+                  ) -> HashRing:
+        ids = tuple(worker_id for worker_id, _ in members)
+        with self._state_lock:
+            if self._ring is None or ids != self._ring_members:
+                self._ring = HashRing(list(ids), replicas=self.replicas)
+                self._ring_members = ids
+            return self._ring
+
+    def _client(self, worker_id: str, address: Tuple[str, int]
+                ) -> _WorkerClient:
+        with self._state_lock:
+            client = self._clients.get(worker_id)
+            if client is None or (client.host, client.port) != address:
+                client = _WorkerClient(
+                    *address, timeout_s=self.request_timeout_s)
+                self._clients[worker_id] = client
+            return client
+
+    def breaker(self, worker_id: str) -> CircuitBreaker:
+        with self._state_lock:
+            breaker = self._breakers.get(worker_id)
+            if breaker is None:
+                breaker = CircuitBreaker(name=f"worker.{worker_id}",
+                                         **self.breaker_options)
+                self._breakers[worker_id] = breaker
+            return breaker
+
+    # ------------------------------------------------------------------
+    # Request routing
+    # ------------------------------------------------------------------
+    def route_predict(self, body: bytes
+                      ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
+        """Route one ``/predict`` body; returns (status, body, headers).
+
+        Non-retryable worker answers (2xx, 4xx) pass through verbatim —
+        they are the worker's verdict on the request, not a worker
+        fault.
+        """
+        registry = get_registry()
+        if self.draining:
+            registry.inc("fleet.router.draining_rejects")
+            return (503, json.dumps(
+                {"error": "router is draining", "retryable": True}
+            ).encode("utf-8"), {"Retry-After": "1"})
+        with self._idle:
+            self._inflight += 1
+        t0 = clock()
+        try:
+            return self._route_predict_inner(body)
+        finally:
+            registry.observe("fleet.router.latency_ms",
+                             1000.0 * (clock() - t0))
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def _route_predict_inner(self, body: bytes
+                             ) -> Tuple[int, bytes,
+                                        Optional[Dict[str, str]]]:
+        registry = get_registry()
+        registry.inc("fleet.router.requests")
+        members = self.fleet.all_workers()
+        healthy = dict(self.fleet.healthy_workers())
+        ring = self._ring_for(members)
+        candidates = [worker_id for worker_id in ring.ordered(body)
+                      if worker_id in healthy]
+        if not candidates:
+            registry.inc("fleet.router.no_backend")
+            return (503, json.dumps(
+                {"error": "no healthy worker in rotation",
+                 "retryable": True}).encode("utf-8"),
+                {"Retry-After": "1"})
+
+        attempts = 0
+        last_failure = "all workers refused by circuit breakers"
+        for worker_id in candidates:
+            if attempts >= self.max_attempts:
+                break
+            breaker = self.breaker(worker_id)
+            if not breaker.allow():
+                registry.inc("fleet.router.breaker_skips")
+                continue
+            if attempts:
+                registry.inc("fleet.router.retries")
+                time.sleep(self.retry_backoff_s * (2.0 ** (attempts - 1)))
+            attempts += 1
+            client = self._client(worker_id, healthy[worker_id])
+            try:
+                status, data = client.request("POST", "/predict", body)
+            except Exception as exc:
+                breaker.record_failure()
+                registry.inc("fleet.router.connect_errors")
+                last_failure = (f"{worker_id}: "
+                                f"{type(exc).__name__}: {exc}")
+                continue
+            if status in _RETRYABLE_STATUSES:
+                breaker.record_failure()
+                registry.inc("fleet.router.upstream_errors")
+                last_failure = f"{worker_id}: HTTP {status}"
+                continue
+            breaker.record_success()
+            if attempts > 1:
+                registry.inc("fleet.router.rerouted")
+            return status, data, None
+        registry.inc("fleet.router.exhausted")
+        return (503, json.dumps(
+            {"error": f"no worker answered after {attempts} attempts "
+                      f"(last: {last_failure})",
+             "retryable": True}).encode("utf-8"), {"Retry-After": "1"})
+
+    def broadcast_reload(self, body: bytes
+                         ) -> Tuple[int, Dict[str, Any]]:
+        """``POST /reload`` fan-out to every healthy worker.
+
+        Answers 200 only when *every* reached worker accepted the
+        reload; any 409/connection failure yields 409 with per-worker
+        outcomes (workers that already swapped keep the new bundle —
+        the caller decides whether to retry or roll back).
+        """
+        results: Dict[str, Any] = {}
+        ok = True
+        for worker_id, address in self.fleet.healthy_workers():
+            client = self._client(worker_id, address)
+            try:
+                status, data = client.request("POST", "/reload", body)
+                try:
+                    payload = json.loads(data.decode("utf-8"))
+                except ValueError:
+                    payload = {"raw": data.decode("utf-8", "replace")}
+                results[worker_id] = {"status": status, **(
+                    payload if isinstance(payload, dict) else
+                    {"body": payload})}
+                ok = ok and status == 200
+            except Exception as exc:
+                results[worker_id] = {
+                    "status": None,
+                    "error": f"{type(exc).__name__}: {exc}"}
+                ok = False
+        get_registry().inc("fleet.router.reload."
+                           + ("success" if ok else "rejected"))
+        return (200 if ok else 409), {"reloaded": ok, "workers": results}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        fleet = self.fleet.describe()
+        up, size = int(fleet.get("up", 0)), int(fleet.get("size", 0))
+        if self.draining:
+            status = "draining"
+        elif up == 0:
+            status = "down"
+        elif up < size:
+            status = "degraded"
+        else:
+            status = "ok"
+        with self._state_lock:
+            breakers = {worker_id: breaker.describe()
+                        for worker_id, breaker in self._breakers.items()}
+        return {
+            "status": status,
+            "fleet": fleet,
+            "breakers": breakers,
+            "inflight": self._inflight,
+        }
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Router":
+        if self._thread is not None:
+            raise RuntimeError("router already started")
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="fleet-router",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (CLI); SIGTERM/SIGINT drain."""
+        self._started = True
+        self.install_signal_handlers()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def install_signal_handlers(self) -> bool:
+        if threading.current_thread() is not threading.main_thread():
+            return False
+
+        def _on_term(signum, frame):  # pragma: no cover - signal path
+            self.drain()
+
+        try:
+            signal.signal(signal.SIGTERM, _on_term)
+        except (ValueError, OSError, AttributeError):
+            return False
+        return True
+
+    def drain(self) -> None:
+        """Graceful shutdown trigger (signal-safe, returns at once)."""
+        if self.draining:
+            return
+        self.draining = True
+        get_registry().inc("fleet.router.drain")
+        threading.Thread(target=self.stop, name="fleet-router-drain",
+                         daemon=True).start()
+
+    def stop(self, drain_timeout_s: float = 10.0) -> None:
+        """Stop accepting, flush in-flight requests, stop the fleet."""
+        self.draining = True
+        if self._started:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        deadline = clock() + drain_timeout_s
+        with self._idle:
+            while self._inflight > 0 and clock() < deadline:
+                self._idle.wait(timeout=max(0.0, deadline - clock()))
+        with self._state_lock:
+            clients = list(self._clients.values())
+            self._clients = {}
+        for client in clients:
+            client.close()
+        if self.own_fleet:
+            self.fleet.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "Router":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return (f"Router({self.url}, fleet={len(self._ring_members)} "
+                f"members, draining={self.draining})")

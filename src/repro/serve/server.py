@@ -11,23 +11,44 @@ Endpoints
 ``POST /predict``
     Body ``{"features": [[...], ...]}`` (one row per sample; a single
     flat list is treated as one sample).  Response
-    ``{"labels": [...], "model": <config fingerprint>}``.
+    ``{"labels": [...], "model": <config fingerprint>}`` — the
+    fingerprint of the engine snapshot that *computed the labels*
+    (a list if a hot reload split the request across two models).
     Degradation mapping: admission-control rejection → **503** with
     ``Retry-After``; per-request deadline expiry → **504**; malformed
     input → **400**; engine failure → **500**.
 ``GET /healthz``
     Engine + batcher + shedder facts as JSON (status ``ok`` /
-    ``shedding``).
+    ``shedding`` / ``draining``), plus the bundle identity (version,
+    config fingerprint, path) and the engine mode (``packed`` /
+    ``float``) so a fleet supervisor can detect a torn or wrong-version
+    worker.  ``?deep=1`` additionally runs the engine selfcheck and
+    reports ``selfcheck`` (a failing selfcheck answers **500** so
+    health-gated routing drops the worker).
 ``GET /metrics``
     Prometheus text exposition of the process-global telemetry registry
     (the same counters/histograms the batcher and engine populate).
+``POST /slow`` (chaos builds only)
+    Fault-injection stall: ``{"stall_s": 2.5}`` wedges ``/predict`` and
+    ``/healthz`` for the given duration, simulating a hung worker for
+    the chaos harness.  Only routed when the server was built with
+    ``chaos=True`` (or ``REPRO_SERVE_CHAOS=1``); otherwise 404.
+
+Client disconnects (a load generator hanging up mid-response) are
+counted in ``serve.client_disconnect`` instead of dumping stack traces
+to stderr.  ``SIGTERM`` triggers a graceful drain: stop accepting,
+answer everything queued in the micro-batcher, then exit — the same
+code path a fleet supervisor uses to stop a worker.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
+import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -35,7 +56,7 @@ import numpy as np
 
 from ..reliability.degrade import (DeadlineExceededError, LoadShedder,
                                    OverloadShedError)
-from ..telemetry import get_registry, prometheus_text
+from ..telemetry import clock, get_registry, prometheus_text
 from .batching import MicroBatcher
 from .bundle import BundleError, ModelBundle
 from .engine import EngineSelfCheckError, InferenceEngine
@@ -51,6 +72,10 @@ class RequestError(ValueError):
     """Client-side error (malformed JSON / wrong feature shape): HTTP 400."""
 
 
+#: Exceptions raised when the client hangs up mid-request/-response.
+_DISCONNECTS = (BrokenPipeError, ConnectionResetError, ConnectionAbortedError)
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes requests to the owning :class:`ModelServer`."""
 
@@ -61,22 +86,31 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_json(self, status: int, payload: Dict[str, Any],
                    headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except _DISCONNECTS:
+            # The client is gone; nobody is owed this response.
+            get_registry().inc("serve.client_disconnect")
+            self.close_connection = True
 
     def _send_text(self, status: int, text: str,
                    content_type: str = "text/plain; charset=utf-8") -> None:
         body = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except _DISCONNECTS:
+            get_registry().inc("serve.client_disconnect")
+            self.close_connection = True
 
     def log_message(self, format: str, *args: Any) -> None:
         # Access logs go to the metrics registry, not stderr (tests and
@@ -86,9 +120,15 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         app = self.server.app
-        if self.path == "/healthz":
-            self._send_json(200, app.health())
-        elif self.path == "/metrics":
+        url = urllib.parse.urlsplit(self.path)
+        if url.path == "/healthz":
+            app._maybe_stall()
+            query = urllib.parse.parse_qs(url.query)
+            deep = query.get("deep", ["0"])[-1] not in ("0", "", "false")
+            payload = app.health(deep=deep)
+            status = 200 if payload["status"] != "selfcheck_failed" else 500
+            self._send_json(status, payload)
+        elif url.path == "/metrics":
             self._send_text(200, prometheus_text())
         else:
             self._send_json(404, {"error": f"no route {self.path!r}"})
@@ -98,14 +138,22 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/reload":
             self._do_reload(app)
             return
+        if self.path == "/slow" and app.chaos:
+            self._do_slow(app)
+            return
         if self.path != "/predict":
             self._send_json(404, {"error": f"no route {self.path!r}"})
             return
         registry = get_registry()
         try:
+            app._maybe_stall()
             length = int(self.headers.get("Content-Length", 0))
             features = _parse_features(self.rfile.read(length))
-            labels = app.predict(features)
+            labels, models = app.predict_tagged(features)
+        except _DISCONNECTS:
+            registry.inc("serve.client_disconnect")
+            self.close_connection = True
+            return
         except RequestError as exc:
             registry.inc("serve.http.bad_request")
             self._send_json(400, {"error": str(exc)})
@@ -122,7 +170,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(200, {
                 "labels": [int(label) for label in labels],
-                "model": app.engine.bundle.info.get("config_fingerprint"),
+                "model": models[0] if len(models) == 1 else models,
             })
 
     def _do_reload(self, app: "ModelServer") -> None:
@@ -158,6 +206,23 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(200, info)
 
+    def _do_slow(self, app: "ModelServer") -> None:
+        """``POST /slow`` (chaos builds): wedge the worker for a while."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            stall_s = float(payload["stall_s"])
+            if not 0.0 <= stall_s <= 120.0:
+                raise ValueError(f"stall_s out of range: {stall_s}")
+        except (KeyError, TypeError, ValueError,
+                UnicodeDecodeError) as exc:
+            self._send_json(400, {"error": f'expected {{"stall_s": '
+                                           f's}}: {exc}'})
+            return
+        get_registry().inc("serve.chaos.stalls")
+        app.stall(stall_s)
+        self._send_json(200, {"stalled_s": stall_s})
+
 
 def _parse_features(body: bytes) -> np.ndarray:
     """Decode and shape-check the /predict request body."""
@@ -187,6 +252,20 @@ class _HTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
     app: "ModelServer"
 
+    def handle_error(self, request, client_address) -> None:
+        """Count client disconnects instead of spewing tracebacks.
+
+        Anything that escapes the handler's own try/except (e.g. a
+        reset while *reading* the request line) lands here; for real
+        server bugs keep the default stderr traceback.
+        """
+        import sys
+        exc = sys.exc_info()[1]
+        if isinstance(exc, _DISCONNECTS):
+            get_registry().inc("serve.client_disconnect")
+            return
+        super().handle_error(request, client_address)
+
 
 class ModelServer:
     """HTTP front end around an engine + micro-batcher.
@@ -213,6 +292,11 @@ class ModelServer:
         Keyword arguments for the :class:`InferenceEngine` built on
         reload (``cache_size``, ``use_packed``, ...).  Defaults to the
         current engine's cache capacity with packed auto-selection.
+    chaos:
+        Route the fault-injection ``POST /slow`` endpoint (never enable
+        outside tests/chaos harnesses).  Defaults to the
+        ``REPRO_SERVE_CHAOS=1`` environment toggle so a fleet
+        supervisor can arm spawned workers.
     """
 
     def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
@@ -221,9 +305,15 @@ class ModelServer:
                  high_watermark: Optional[int] = 128,
                  timeout_s: Optional[float] = 5.0,
                  bundle_path: Optional[str] = None,
-                 engine_options: Optional[Dict[str, Any]] = None):
+                 engine_options: Optional[Dict[str, Any]] = None,
+                 chaos: Optional[bool] = None):
         self.engine = engine
         self.bundle_path = bundle_path
+        if chaos is None:
+            chaos = os.environ.get("REPRO_SERVE_CHAOS", "") not in ("", "0")
+        self.chaos = bool(chaos)
+        self._stall_until = 0.0
+        self.draining = False
         if engine_options is None:
             # Test doubles may not implement the full engine surface;
             # fall back to engine defaults on reload in that case.
@@ -248,8 +338,14 @@ class ModelServer:
         self._thread: Optional[threading.Thread] = None
         self._started = False
 
-    def _predict_batch(self, features: np.ndarray) -> np.ndarray:
-        return self.engine.predict_features(features)
+    def _predict_batch(self, features: np.ndarray):
+        # Snapshot the engine ONCE per batch: the labels and the
+        # fingerprint the handler reports must come from the same
+        # model, even if a concurrent /reload swaps ``self.engine``
+        # between dispatch and response assembly.
+        engine = self.engine
+        labels = engine.predict_features(features)
+        return labels, engine.bundle.info.get("config_fingerprint")
 
     # ------------------------------------------------------------------
     @property
@@ -269,13 +365,62 @@ class ModelServer:
         the workers can batch them together (and with rows from other
         concurrent connections).
         """
-        return self.batcher.submit_all(features)
+        return self.predict_tagged(features)[0]
 
-    def health(self) -> Dict[str, Any]:
+    def predict_tagged(self, features: np.ndarray) -> tuple:
+        """Like :meth:`predict`, plus the fingerprint(s) that served it.
+
+        Returns ``(labels, models)`` where ``models`` lists the distinct
+        config fingerprints of the engine snapshots that computed the
+        rows (one entry unless a hot reload landed mid-request).
+        """
+        results = self.batcher.submit_all(features)
+        labels = [label for label, _ in results]
+        models = []
+        for _, fingerprint in results:
+            if fingerprint not in models:
+                models.append(fingerprint)
+        return labels, models
+
+    # -- chaos stall (test-only fault injection) -----------------------
+    def stall(self, stall_s: float) -> None:
+        """Wedge ``/predict`` and ``/healthz`` for ``stall_s`` seconds
+        (chaos harness: simulates a hung worker that a supervisor's
+        probe timeout must catch)."""
+        self._stall_until = clock() + float(stall_s)
+
+    def _maybe_stall(self) -> None:
+        while self.chaos and clock() < self._stall_until:
+            time.sleep(0.05)
+
+    def health(self, deep: bool = False) -> Dict[str, Any]:
+        """Health facts; ``deep=True`` also runs the engine selfcheck.
+
+        The shallow probe is what a supervisor heartbeats (cheap, no
+        engine work); the deep probe re-proves the packed fast path
+        against the float reference — the reload tests and the fleet's
+        post-restart readiness check both use it.
+        """
         shedding = bool(self.shedder is not None and self.shedder.shedding)
-        return {
-            "status": "shedding" if shedding else "ok",
+        status = "ok"
+        if shedding:
+            status = "shedding"
+        if self.draining:
+            status = "draining"
+        info = self.engine.bundle.info
+        payload = {
+            "status": status,
             "engine": self.engine.describe(),
+            # getattr: engines are duck-typed (façades/wrappers may not
+            # carry the packed-path flag).
+            "mode": ("packed" if getattr(self.engine, "use_packed", False)
+                     else "float"),
+            "bundle": {
+                "version": info.get("bundle_version"),
+                "fingerprint": info.get("config_fingerprint"),
+                "pipeline": info.get("pipeline"),
+                "path": self.bundle_path,
+            },
             "bundle_path": self.bundle_path,
             "reloads": self.reloads,
             "batcher": {"depth": self.batcher.depth,
@@ -286,6 +431,15 @@ class ModelServer:
                               "shedding": shedding,
                               **self.shedder.stats}),
         }
+        if deep:
+            try:
+                self.engine.selfcheck()
+            except Exception as exc:
+                payload["status"] = "selfcheck_failed"
+                payload["selfcheck"] = f"{type(exc).__name__}: {exc}"
+            else:
+                payload["selfcheck"] = "ok"
+        return payload
 
     # ------------------------------------------------------------------
     # Hot reload
@@ -329,11 +483,15 @@ class ModelServer:
         }
 
     def install_signal_handlers(self) -> bool:
-        """Route ``SIGHUP`` to :meth:`reload` (main thread only).
+        """Route ``SIGHUP`` → :meth:`reload` and ``SIGTERM`` →
+        :meth:`drain` (main thread only).
 
-        Returns whether the handler was installed; a failed reload from
-        a signal never propagates (the old engine keeps serving and the
-        rejection is counted in ``serve.reload.rejected``).
+        Returns whether the handlers were installed; a failed reload
+        from a signal never propagates (the old engine keeps serving
+        and the rejection is counted in ``serve.reload.rejected``).
+        SIGTERM starts the graceful drain — stop accepting, answer the
+        queued requests, exit 0 — which is also how a fleet supervisor
+        stops a worker.
         """
         if threading.current_thread() is not threading.main_thread():
             return False
@@ -344,11 +502,32 @@ class ModelServer:
             except ReloadError:
                 get_registry().inc("serve.reload.rejected")
 
+        def _on_term(signum, frame):  # pragma: no cover - signal path
+            self.drain()
+
         try:
             signal.signal(signal.SIGHUP, _on_hup)
+            signal.signal(signal.SIGTERM, _on_term)
         except (ValueError, OSError, AttributeError):
             return False
         return True
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop accepting, flush in-flight, stop.
+
+        Safe to call from a signal handler: ``shutdown()`` must not run
+        on the thread blocked inside ``serve_forever`` (it would
+        deadlock waiting for its own loop to exit), so the actual stop
+        runs on a helper thread and this returns immediately.  The
+        batcher answers everything already queued before the workers
+        exit (see :meth:`MicroBatcher.shutdown`).
+        """
+        if self.draining:
+            return
+        self.draining = True
+        get_registry().inc("serve.drain")
+        threading.Thread(target=self.stop, name="model-server-drain",
+                         daemon=True).start()
 
     # ------------------------------------------------------------------
     def start(self) -> "ModelServer":

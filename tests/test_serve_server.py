@@ -1,7 +1,10 @@
 """HTTP model server: routing, error mapping, e2e pipeline parity."""
 
 import json
+import socket
+import struct
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -11,6 +14,12 @@ import pytest
 from repro.data import make_dataset
 from repro.learn import VanillaHD
 from repro.serve import InferenceEngine, ModelBundle, ModelServer
+from repro.telemetry import get_registry
+
+
+def counter(name):
+    entry = get_registry().snapshot().get(name) or {}
+    return float(entry.get("value", 0.0))
 
 
 def post(url, payload, timeout=30):
@@ -170,6 +179,230 @@ class TestLifecycle:
         # Rebinding the same port proves the listener closed.
         with ModelServer(engine, port=port) as server2:
             assert server2.address[1] == port
+
+
+class BrokenSelfcheckEngine:
+    """Engine façade whose deep selfcheck fails (torn-worker detection)."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.bundle = engine.bundle
+        self.use_packed = engine.use_packed
+
+    def predict_features(self, features):
+        return self.engine.predict_features(features)
+
+    def describe(self):
+        return self.engine.describe()
+
+    def selfcheck(self):
+        raise RuntimeError("packed path diverged from float reference")
+
+
+class TestHealthzIdentity:
+    def test_shallow_health_reports_bundle_and_mode(self, synthetic_bundle,
+                                                    tmp_path):
+        bundle = synthetic_bundle(seed=61)
+        path = str(tmp_path / "bundle.npz")
+        bundle.save(path)
+        engine = InferenceEngine(bundle)
+        with ModelServer(engine, port=0, bundle_path=path) as server:
+            health = json.loads(get(server.url + "/healthz"))
+        assert health["mode"] == "packed"
+        assert health["bundle"]["fingerprint"] == bundle.info[
+            "config_fingerprint"]
+        assert health["bundle"]["version"] == bundle.info["bundle_version"]
+        assert health["bundle"]["pipeline"] == "SyntheticHD"
+        assert health["bundle"]["path"] == path
+        assert "selfcheck" not in health  # shallow probes stay cheap
+
+    def test_float_engine_reports_float_mode(self, synthetic_bundle):
+        engine = InferenceEngine(synthetic_bundle(seed=62, binary=False))
+        assert not engine.use_packed
+        with ModelServer(engine, port=0) as server:
+            health = json.loads(get(server.url + "/healthz"))
+        assert health["mode"] == "float"
+
+    def test_deep_health_runs_selfcheck(self, synthetic_bundle):
+        engine = InferenceEngine(synthetic_bundle(seed=63))
+        with ModelServer(engine, port=0) as server:
+            health = json.loads(get(server.url + "/healthz?deep=1"))
+        assert health["selfcheck"] == "ok"
+        assert health["status"] == "ok"
+
+    def test_deep_health_failure_maps_to_500(self, synthetic_bundle):
+        engine = BrokenSelfcheckEngine(
+            InferenceEngine(synthetic_bundle(seed=64)))
+        with ModelServer(engine, port=0) as server:
+            # Shallow stays 200 (probe traffic must not run the check)…
+            health = json.loads(get(server.url + "/healthz"))
+            assert health["status"] == "ok"
+            # …deep runs it and degrades the answer to 500.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server.url + "/healthz?deep=1")
+            assert excinfo.value.code == 500
+            payload = json.loads(excinfo.value.read())
+            assert payload["status"] == "selfcheck_failed"
+            assert "diverged" in payload["selfcheck"]
+
+
+class TestChaosEndpoint:
+    def test_slow_is_404_when_chaos_unarmed(self, synthetic_bundle):
+        engine = InferenceEngine(synthetic_bundle(seed=65))
+        with ModelServer(engine, port=0, chaos=False) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(server.url + "/slow", {"stall_s": 0.1})
+            assert excinfo.value.code == 404
+
+    def test_slow_stalls_healthz_when_armed(self, synthetic_bundle):
+        engine = InferenceEngine(synthetic_bundle(seed=66))
+        with ModelServer(engine, port=0, chaos=True) as server:
+            out = post(server.url + "/slow", {"stall_s": 0.5})
+            assert out["stalled_s"] == 0.5
+            t0 = time.monotonic()
+            health = json.loads(get(server.url + "/healthz"))
+            assert time.monotonic() - t0 >= 0.3  # probe was wedged
+            assert health["status"] == "ok"  # …but answers once unstuck
+
+    def test_slow_validates_body(self, synthetic_bundle):
+        engine = InferenceEngine(synthetic_bundle(seed=67))
+        with ModelServer(engine, port=0, chaos=True) as server:
+            for payload in ({}, {"stall_s": -1.0}, {"stall_s": 1e9}):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    post(server.url + "/slow", payload)
+                assert excinfo.value.code == 400
+
+
+class TestClientDisconnect:
+    def test_mid_request_reset_is_counted_not_crashed(self,
+                                                      synthetic_bundle):
+        engine = InferenceEngine(synthetic_bundle(seed=68))
+        with ModelServer(engine, port=0) as server:
+            before = counter("serve.client_disconnect")
+            sock = socket.create_connection(server.address, timeout=5)
+            # Claim a large body, then slam the door with an RST while
+            # the handler is blocked reading it.
+            sock.sendall(b"POST /predict HTTP/1.1\r\n"
+                         b"Host: test\r\n"
+                         b"Content-Type: application/json\r\n"
+                         b"Content-Length: 1000000\r\n\r\n")
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+            sock.close()
+            deadline = time.monotonic() + 5.0
+            while (counter("serve.client_disconnect") <= before
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert counter("serve.client_disconnect") > before
+            # The server survived: normal requests still answer.
+            out = post(server.url + "/predict",
+                       {"features": [0.0] * 32})
+            assert len(out["labels"]) == 1
+
+
+class TestGracefulDrain:
+    def test_drain_stops_accepting_and_is_idempotent(self,
+                                                     synthetic_bundle):
+        engine = InferenceEngine(synthetic_bundle(seed=69))
+        server = ModelServer(engine, port=0).start()
+        url = server.url
+        post(url + "/predict", {"features": [0.0] * 32})
+        before = counter("serve.drain")
+        server.drain()
+        server.drain()  # second call is a no-op
+        assert server.draining
+        assert counter("serve.drain") == before + 1
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                post(url + "/predict", {"features": [0.0] * 32},
+                     timeout=1)
+            except (urllib.error.URLError, ConnectionError, OSError):
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("listener still accepting after drain")
+        server.stop()  # safe after drain
+
+
+class TestReloadUnderLoad:
+    def test_concurrent_reload_never_tears_responses(self,
+                                                     synthetic_bundle,
+                                                     tmp_path):
+        """Satellite acceptance: /predict hammered during good + torn
+        reloads sees zero 5xx and every answer consistent with exactly
+        one of the two engines (never a half-swapped state)."""
+        bundle_a = synthetic_bundle(seed=71)
+        bundle_b = synthetic_bundle(seed=72)
+        path_a = str(tmp_path / "a.npz")
+        path_b = str(tmp_path / "b.npz")
+        torn = str(tmp_path / "torn.npz")
+        bundle_a.save(path_a)
+        bundle_b.save(path_b)
+        with open(path_a, "rb") as handle:
+            blob = handle.read()
+        with open(torn, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+
+        rng = np.random.default_rng(71)
+        pool = rng.standard_normal((16, 32))
+        fingerprints = {}
+        expected = {}
+        for bundle in (bundle_a, bundle_b):
+            fp = bundle.info["config_fingerprint"]
+            engine = InferenceEngine(bundle)
+            fingerprints[fp] = bundle
+            expected[fp] = [int(v) for v in
+                            engine.predict_features(pool)]
+        assert len(fingerprints) == 2
+
+        server = ModelServer(InferenceEngine(bundle_a), port=0,
+                             max_batch_size=8, max_latency_ms=1.0,
+                             workers=2, bundle_path=path_a).start()
+        stop = threading.Event()
+        bad = []
+
+        def hammer(cid):
+            i = cid
+            while not stop.is_set():
+                idx = i % len(pool)
+                i += 1
+                try:
+                    out = post(server.url + "/predict",
+                               {"features": pool[idx].tolist()})
+                except urllib.error.HTTPError as exc:
+                    bad.append(("http", exc.code))
+                    continue
+                fp = out["model"]
+                if fp not in expected:
+                    bad.append(("unknown-model", fp))
+                elif out["labels"] != [expected[fp][idx]]:
+                    bad.append(("torn-labels", fp, idx, out["labels"]))
+
+        threads = [threading.Thread(target=hammer, args=(cid,))
+                   for cid in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+            reloads = rejected = 0
+            deadline = time.monotonic() + 3.0
+            cycle = [path_b, torn, path_a, torn]
+            while time.monotonic() < deadline:
+                target = cycle[reloads % len(cycle)]
+                try:
+                    post(server.url + "/reload", {"bundle": target})
+                except urllib.error.HTTPError as exc:
+                    assert exc.code == 409 and target == torn
+                    rejected += 1
+                reloads += 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            server.stop()
+        assert not bad, bad[:10]
+        assert reloads >= 4 and rejected >= 1
+        assert server.reloads >= 2  # the good swaps landed
 
 
 class TestEndToEnd:
