@@ -29,10 +29,16 @@ Asserted SLO (exit nonzero on violation):
 * recovery-window P99 back within a small multiple of baseline;
 * routed answers bit-exact with a local engine on the same bundle.
 
+Request tracing is enabled on the router for the whole run: every
+response echoes an ``X-Trace-Id``, the load generator records it, and
+the post-mortem prints the 10 slowest plus every failed request with
+their span trees pulled from the router's flight recorder.
+
 The run is appended to the run ledger (``kind="fleet"``) with per-phase
-latency quantiles and fault/recovery facts, and gated against the
-rolling median+MAD baseline like every other tiered check
-(``scripts/check_fleet.sh`` wires this into ``run_all.sh``).
+latency quantiles, fault/recovery facts, the captured trace ids, and
+SLO burn-rate gauges, and gated against the rolling median+MAD baseline
+like every other tiered check (``scripts/check_fleet.sh`` wires this
+into ``run_all.sh``).
 
 Usage::
 
@@ -57,11 +63,13 @@ _SRC = os.path.join(REPO_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from serve_bench import synthetic_bundle  # noqa: E402
+from serve_bench import report_traces, synthetic_bundle  # noqa: E402
 
 from repro import telemetry  # noqa: E402
 from repro.serve import InferenceEngine, Router, Supervisor  # noqa: E402
-from repro.telemetry import regress  # noqa: E402
+from repro.telemetry import (disable_request_tracing,  # noqa: E402
+                             enable_request_tracing, get_flight_recorder,
+                             regress)
 from repro.telemetry.ledger import RunLedger, RunRecord  # noqa: E402
 from repro.utils.rng import fresh_rng  # noqa: E402
 
@@ -113,6 +121,10 @@ class LoadGenerator:
     answers.  Outcomes are bucketed by the *current phase* (the chaos
     schedule flips :attr:`phase` from the main thread) so the three
     windows can be scored separately.
+
+    Every response's ``X-Trace-Id`` echo is recorded alongside its
+    latency so the post-mortem can pull the slowest and every failed
+    request straight out of the router's flight recorder.
     """
 
     def __init__(self, host: str, port: int, payloads, clients: int):
@@ -123,6 +135,8 @@ class LoadGenerator:
         self.phase = PHASES[0]
         self.results = {name: {"ok": 0, "fail": 0, "latency_ms": []}
                         for name in PHASES}
+        self._traced = []   # (latency_ms, status, trace_id) per request
+        self._failed = []   # same shape, non-200 / connection errors
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._threads = []
@@ -135,12 +149,16 @@ class LoadGenerator:
             body = self.payloads[i % len(self.payloads)]
             i += self.clients
             phase = self.phase
+            status = None
+            trace_id = None
             t0 = telemetry.clock()
             try:
                 conn.request("POST", "/predict", body,
                              {"Content-Type": "application/json"})
                 response = conn.getresponse()
                 response.read()
+                status = response.status
+                trace_id = response.getheader("X-Trace-Id")
                 ok = response.status == 200
             except (http.client.HTTPException, OSError):
                 ok = False
@@ -153,6 +171,9 @@ class LoadGenerator:
                 bucket["ok" if ok else "fail"] += 1
                 if ok:
                     bucket["latency_ms"].append(latency_ms)
+                self._traced.append((latency_ms, status, trace_id))
+                if not ok:
+                    self._failed.append((latency_ms, status, trace_id))
         conn.close()
 
     def start(self) -> "LoadGenerator":
@@ -183,6 +204,14 @@ class LoadGenerator:
                     "p99_ms": float(np.percentile(lat, 99)),
                 }
             return out
+
+    def traced(self) -> dict:
+        """Slowest-10 and all failed requests with their trace ids,
+        in the shape :func:`serve_bench.report_traces` expects."""
+        with self._lock:
+            slowest = sorted(self._traced,
+                             key=lambda r: -(r[0] or 0.0))[:10]
+            return {"slowest": slowest, "failed": list(self._failed)}
 
 
 def post_worker(url: str, path: str, payload: dict,
@@ -217,6 +246,10 @@ def main(argv=None) -> int:
         return 2
     telemetry.get_registry().reset()
     telemetry.get_tracer().reset()
+    # Router-side request tracing, in-process: every request gets a
+    # trace id echoed in X-Trace-Id and lands in this process's flight
+    # recorder (the workers are subprocesses; their spans stay local).
+    enable_request_tracing(service="chaos-router", sample_rate=1.0)
 
     failures: list = []
 
@@ -373,11 +406,20 @@ def main(argv=None) -> int:
               <= max(10.0 * summary["baseline"]["p99_ms"], p99_floor_ms),
               f"recovery P99 {summary['recovery']['p99_ms']:.1f}ms back "
               f"near baseline {summary['baseline']['p99_ms']:.1f}ms")
+
+        # -- flight-recorder post-mortem: slowest + every failure -----
+        traced = load.traced()
+        traced_ok = sum(1 for _, _, tid in traced["slowest"] if tid)
+        check(traced_ok == len(traced["slowest"]),
+              f"every slow request carried a trace id "
+              f"({traced_ok}/{len(traced['slowest'])})")
+        report_traces(traced)
     finally:
         if load is not None and not load._stop.is_set():
             load.stop()
         router.stop()
         supervisor.stop()
+        disable_request_tracing()
         shutil.rmtree(workdir, ignore_errors=True)
     wall_s = telemetry.clock() - t_start
 
@@ -395,6 +437,8 @@ def main(argv=None) -> int:
     def counter(name: str) -> float:
         entry = snapshot.get(name) or {}
         return float(entry.get("value", 0.0))
+
+    gauge = counter  # gauges snapshot to the same {"value": ...} shape
 
     config = {
         "workers": args.workers, "clients": args.clients,
@@ -422,6 +466,19 @@ def main(argv=None) -> int:
             "breaker_skips": counter("fleet.router.breaker_skips"),
             "exhausted": counter("fleet.router.exhausted"),
         },
+        "traces": {
+            "slowest": [[lat, status, tid]
+                        for lat, status, tid in traced["slowest"]],
+            "failed": [[lat, status, tid]
+                       for lat, status, tid in traced["failed"]],
+            "recorder_retained": len(get_flight_recorder().retained_ids()),
+        },
+        "slo_burn": {
+            "availability_fast": gauge("fleet.slo.availability.burn_fast"),
+            "availability_slow": gauge("fleet.slo.availability.burn_slow"),
+            "latency_fast": gauge("fleet.slo.latency.burn_fast"),
+            "latency_slow": gauge("fleet.slo.latency.burn_slow"),
+        },
         "slo_failures": list(failures),
     }
 
@@ -442,7 +499,8 @@ def main(argv=None) -> int:
                        "success_rate": success_rate,
                        "restarts": description["restarts"],
                        "breaker_opens": opens,
-                       "failures": failures},
+                       "failures": failures,
+                       "traces": traced},
                       handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json_out}")

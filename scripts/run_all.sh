@@ -27,4 +27,8 @@ bash scripts/check_stage_parity.sh
 # Fleet fault tolerance: supervised workers + router chaos-tested under
 # load (kill / hang / poison; see scripts/check_fleet.sh).
 bash scripts/check_fleet.sh
+# Request tracing: stitched cross-process span trees (router -> worker
+# -> batcher -> stage, incl. failover), /tracez + /requestz, and the
+# <5% tracing-disabled overhead gate (see scripts/check_trace.sh).
+bash scripts/check_trace.sh
 echo "Results tables are under results/, run ledger under results/ledger/"

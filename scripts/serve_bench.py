@@ -58,6 +58,10 @@ from repro import telemetry  # noqa: E402
 from repro.serve import InferenceEngine, ModelBundle, ModelServer  # noqa: E402
 from repro.serve.batching import MicroBatcher  # noqa: E402
 from repro.serve.bundle import BUNDLE_VERSION  # noqa: E402
+from repro.telemetry import (disable_request_tracing,  # noqa: E402
+                             disabled_request_trace_overhead,
+                             enable_request_tracing, get_flight_recorder,
+                             render_trace_tree)
 from repro.telemetry import regress  # noqa: E402
 from repro.telemetry.ledger import (RunLedger, RunRecord,  # noqa: E402
                                     config_fingerprint, git_info)
@@ -90,6 +94,10 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--no-http", action="store_true",
                         help="skip the HTTP keep-alive phase (sockets "
                              "through a real ModelServer)")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip the traced HTTP phase (per-request "
+                             "tracing A/B, slowest-trace report, "
+                             "tracing-overhead ledger fields)")
     parser.add_argument("--float-path", action="store_true",
                         help="bench the float cosine path instead of the "
                              "bit-packed fast path")
@@ -209,7 +217,8 @@ def bench_closed_loop(engine: InferenceEngine, samples: np.ndarray,
 
 def bench_http(engine: InferenceEngine, samples: np.ndarray,
                batch: int, clients: int, workers: int,
-               max_latency_ms: float) -> dict:
+               max_latency_ms: float,
+               capture_traces: bool = False) -> dict:
     """Closed loop over a real socket with keep-alive reuse.
 
     Each client thread owns one persistent
@@ -220,12 +229,20 @@ def bench_http(engine: InferenceEngine, samples: np.ndarray,
     they are recorded in the ledger so a regression back to
     connection-per-request (or a server that starts dropping keep-alive)
     shows up in the baseline gate.
+
+    ``capture_traces=True`` (the traced A/B phase) records each
+    response's ``X-Trace-Id`` next to its latency, and the result gains
+    ``slowest`` (10 slowest requests, slowest first) and ``failed``
+    (every non-200/errored request) lists of ``(latency_ms, status,
+    trace_id)`` for flight-recorder lookups.
     """
     latencies: list = [[] for _ in range(clients)]
     conn_errors = [0] * clients
     http_errors = [0] * clients
     reconnects = [0] * clients
     completed = [0] * clients
+    records: list = [[] for _ in range(clients)]
+    failed: list = [[] for _ in range(clients)]
     shares = np.array_split(np.arange(len(samples)), clients)
     bodies = [json.dumps({"features": samples[i].tolist()}).encode("ascii")
               for i in range(len(samples))]
@@ -236,18 +253,18 @@ def bench_http(engine: InferenceEngine, samples: np.ndarray,
                          high_watermark=None, timeout_s=30.0).start()
     host, port = server.address
     try:
-        def once(conn: http.client.HTTPConnection, i: int) -> int:
+        def once(conn: http.client.HTTPConnection, i: int) -> tuple:
             conn.request("POST", "/predict", bodies[i], headers)
             response = conn.getresponse()
             response.read()
-            return response.status
+            return response.status, response.getheader("X-Trace-Id")
 
         def client(cid: int) -> None:
             conn = http.client.HTTPConnection(host, port, timeout=30.0)
             for i in shares[cid]:
                 t0 = telemetry.clock()
                 try:
-                    status = once(conn, int(i))
+                    status, trace_id = once(conn, int(i))
                 except (http.client.HTTPException, OSError):
                     # Stale keep-alive connection: replay once, fresh.
                     conn.close()
@@ -255,18 +272,25 @@ def bench_http(engine: InferenceEngine, samples: np.ndarray,
                     conn = http.client.HTTPConnection(host, port,
                                                       timeout=30.0)
                     try:
-                        status = once(conn, int(i))
+                        status, trace_id = once(conn, int(i))
                     except (http.client.HTTPException, OSError):
                         conn_errors[cid] += 1
+                        if capture_traces:
+                            failed[cid].append((None, None, None))
                         conn.close()
                         conn = http.client.HTTPConnection(host, port,
                                                           timeout=30.0)
                         continue
+                lat_ms = 1000.0 * (telemetry.clock() - t0)
                 if status != 200:
                     http_errors[cid] += 1
+                    if capture_traces:
+                        failed[cid].append((lat_ms, status, trace_id))
                     continue
                 completed[cid] += 1
-                latencies[cid].append(1000.0 * (telemetry.clock() - t0))
+                latencies[cid].append(lat_ms)
+                if capture_traces:
+                    records[cid].append((lat_ms, status, trace_id))
             conn.close()
 
         threads = [threading.Thread(target=client, args=(cid,))
@@ -282,7 +306,7 @@ def bench_http(engine: InferenceEngine, samples: np.ndarray,
     lat = np.concatenate([np.asarray(chunk) for chunk in latencies]) \
         if any(latencies) else np.array([0.0])
     done = int(sum(completed))
-    return {
+    out = {
         "wall_s": elapsed,
         "throughput_rps": done / max(elapsed, 1e-9),
         "completed": done,
@@ -296,6 +320,39 @@ def bench_http(engine: InferenceEngine, samples: np.ndarray,
             "max": float(lat.max()),
         },
     }
+    if capture_traces:
+        all_records = [r for chunk in records for r in chunk]
+        all_records.sort(key=lambda r: -r[0])
+        out["slowest"] = all_records[:10]
+        out["failed"] = [r for chunk in failed for r in chunk]
+    return out
+
+
+def report_traces(traced: dict) -> None:
+    """Print the slowest/failed requests with flight-recorder lookups."""
+    recorder = get_flight_recorder()
+
+    def describe(lat_ms, status, trace_id) -> None:
+        lat = f"{lat_ms:8.2f}ms" if lat_ms is not None else "   (conn)"
+        print(f"  {lat}  HTTP {status or '---'}  trace={trace_id}")
+        found = recorder.lookup(trace_id) if trace_id else None
+        if found is None:
+            print("            (not retained by the flight recorder)")
+            return
+        print(f"            retained_for={','.join(found['retained_for'])} "
+              f"spans={len(found['spans'])}")
+        for line in render_trace_tree(found["tree"]).splitlines():
+            print(f"            {line}")
+
+    print(f"\nslowest {len(traced['slowest'])} traced requests:")
+    for lat_ms, status, trace_id in traced["slowest"]:
+        describe(lat_ms, status, trace_id)
+    if traced["failed"]:
+        print(f"\nfailed traced requests ({len(traced['failed'])}):")
+        for lat_ms, status, trace_id in traced["failed"]:
+            describe(lat_ms, status, trace_id)
+    else:
+        print("\nno failed traced requests")
 
 
 def main(argv=None) -> int:
@@ -327,6 +384,19 @@ def main(argv=None) -> int:
     if not args.no_http:
         http_loop = bench_http(engine, samples, args.batch, args.clients,
                                args.workers, args.max_latency_ms)
+    traced_loop = None
+    if not args.no_http and not args.no_trace:
+        # Same phase with per-request tracing armed: the rps delta vs
+        # the untraced phase is the tracing tax, and every response's
+        # X-Trace-Id can be chased into the in-process flight recorder.
+        enable_request_tracing(service="bench-worker", sample_rate=1.0)
+        try:
+            traced_loop = bench_http(engine, samples, args.batch,
+                                     args.clients, args.workers,
+                                     args.max_latency_ms,
+                                     capture_traces=True)
+        finally:
+            disable_request_tracing()
     wall_s = telemetry.clock() - t_start
     speedup = batched["throughput_rps"] / max(single["throughput_rps"],
                                               1e-9)
@@ -351,6 +421,16 @@ def main(argv=None) -> int:
               f"p99={http_loop['latency_ms']['p99']:.2f} ms, "
               f"reconnects={http_loop['reconnects']}, "
               f"conn errors={http_loop['connection_errors']})")
+    tracing_overhead = None
+    if traced_loop is not None:
+        tracing_overhead = (http_loop["throughput_rps"]
+                            / max(traced_loop["throughput_rps"], 1e-9))
+        disabled_ratio = disabled_request_trace_overhead()
+        print(f"http traced : {traced_loop['throughput_rps']:>10.1f} "
+              f"req/s   (tracing on, {tracing_overhead:.3f}x untraced "
+              f"rps; dormant-hook span overhead "
+              f"{disabled_ratio:.3f}x)")
+        report_traces(traced_loop)
 
     config = {
         "bundle": os.path.basename(args.bundle) if args.bundle else None,
@@ -389,6 +469,17 @@ def main(argv=None) -> int:
             "reconnects": http_loop["reconnects"],
             "http_errors": http_loop["http_errors"],
         }
+    if traced_loop is not None:
+        record.extra["serve"]["tracing"] = {
+            "rps_untraced": http_loop["throughput_rps"],
+            "rps_traced": traced_loop["throughput_rps"],
+            "overhead_ratio": tracing_overhead,
+            "disabled_overhead_ratio": disabled_ratio,
+            "latency_ms_traced": traced_loop["latency_ms"],
+            "slowest_trace_ids": [tid for _, _, tid
+                                  in traced_loop["slowest"]],
+            "failed": len(traced_loop["failed"]),
+        }
 
     ledger = RunLedger(args.ledger_dir)
     failed = False
@@ -405,6 +496,7 @@ def main(argv=None) -> int:
         with open(args.json_out, "w") as handle:
             json.dump({"single": single, "batched": batched,
                        "closed_loop": loop, "http": http_loop,
+                       "traced_http": traced_loop,
                        "speedup_batched": speedup,
                        "speedup_closed_loop": loop_speedup,
                        "config": config},

@@ -29,7 +29,8 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from ..telemetry import span
+from ..telemetry import request_span, span
+from ..telemetry.reqtrace import HUB as _HUB
 from .stages import Stage, StageError, stage_from_spec
 
 __all__ = ["StageGraph"]
@@ -122,8 +123,19 @@ class StageGraph:
         span; the default ``False`` matches the historical inference
         paths, which did not emit per-stage spans (keeping ledger stage
         accounting comparable across the refactor).
+
+        Independently of ``instrument``, when a *request trace* is
+        active on the calling thread each stage is recorded as a
+        hub-only span — per-request stage latency shows up in the flight
+        recorder / trace files without touching the aggregate ledger's
+        stage accounting.
         """
         out = batch
+        if _HUB.enabled and not instrument and _HUB.current() is not None:
+            for stage in self._slice(start, stop):
+                with request_span(stage.span_name):
+                    out = stage(out, ctx)
+            return out
         for stage in self._slice(start, stop):
             if instrument:
                 with span(stage.span_name,

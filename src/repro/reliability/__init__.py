@@ -20,7 +20,8 @@ Implements the robustness story around the paper's HD pipelines:
 """
 
 from .circuit import CircuitBreaker, CircuitOpenError
-from .degrade import DeadlineExceededError, LoadShedder, OverloadShedError
+from .degrade import (DeadlineExceededError, LoadShedder,
+                      OverloadShedError, ServingDegradedError)
 from .faults import (BatchCorruptionInjector, BitFlipInjector,
                      CheckpointTruncator, ComposeInjector, FaultInjector,
                      FeatureDropInjector, flip_bits, truncate_file)
@@ -39,5 +40,6 @@ __all__ = [
     "sweep_systems",
     "ResilientPipeline",
     "LoadShedder", "OverloadShedError", "DeadlineExceededError",
+    "ServingDegradedError",
     "CircuitBreaker", "CircuitOpenError",
 ]

@@ -28,11 +28,28 @@ from ..telemetry import get_registry
 __all__ = ["OverloadShedError", "DeadlineExceededError", "LoadShedder"]
 
 
-class OverloadShedError(RuntimeError):
+class ServingDegradedError(RuntimeError):
+    """Base of the serving degradation outcomes.
+
+    Carries the *request id* (the request's trace id when tracing is
+    on) and the model label of the batcher that rejected it, so a
+    coalesced batch's shed/deadline error can say **which** request was
+    affected — both travel into the HTTP error payload and the
+    per-model ``serve.batcher.*.model.<label>`` counters.
+    """
+
+    def __init__(self, message: str, request_id: Optional[str] = None,
+                 model: Optional[str] = None):
+        super().__init__(message)
+        self.request_id = request_id
+        self.model = model
+
+
+class OverloadShedError(ServingDegradedError):
     """Request rejected by admission control (retryable: HTTP 503)."""
 
 
-class DeadlineExceededError(RuntimeError):
+class DeadlineExceededError(ServingDegradedError):
     """Request expired before a worker reached it (HTTP 504)."""
 
 

@@ -41,6 +41,7 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from ..telemetry import enable_request_tracing, tracing_env_options
 from .bundle import BundleError, ModelBundle
 from .engine import EngineSelfCheckError, InferenceEngine
 from .fleet import FleetError, Supervisor
@@ -48,7 +49,7 @@ from .router import Router
 from .server import ModelServer
 
 __all__ = ["main", "build_server", "build_fleet", "load_config",
-           "worker_args_from"]
+           "worker_args_from", "configure_tracing"]
 
 #: Config keys per section → ModelServer / InferenceEngine kwarg names.
 _SERVER_KEYS = ("host", "port")
@@ -121,7 +122,40 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument("--chaos", action="store_true",
                         help="arm the POST /slow fault-injection "
                              "endpoint (tests/chaos harness only)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable per-request distributed tracing "
+                             "(flight recorder + /tracez + /requestz); "
+                             "also via REPRO_TRACE=1")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="additionally export sampled trace spans "
+                             "as JSONL under DIR (implies --trace; "
+                             "also via REPRO_TRACE_DIR)")
+    parser.add_argument("--trace-sample", type=float, default=None,
+                        metavar="RATE",
+                        help="head-sampling rate in [0, 1] for trace "
+                             "export (default 1.0; the flight recorder "
+                             "sees every trace regardless)")
     return parser.parse_args(argv)
+
+
+def configure_tracing(args: argparse.Namespace, service: str) -> bool:
+    """Turn on request tracing for this process if flags/env ask for it.
+
+    Flags win over the ``REPRO_TRACE`` / ``REPRO_TRACE_DIR`` /
+    ``REPRO_TRACE_SAMPLE`` environment (which is how a fleet supervisor
+    arms spawned workers).  Returns whether tracing was enabled.
+    """
+    env = tracing_env_options()
+    trace_dir = getattr(args, "trace_dir", None) or env["trace_dir"]
+    enabled = bool(getattr(args, "trace", False)) or env["enabled"] \
+        or trace_dir is not None
+    if not enabled:
+        return False
+    sample = getattr(args, "trace_sample", None)
+    sample_rate = float(sample) if sample is not None else env["sample_rate"]
+    enable_request_tracing(service=service, sample_rate=sample_rate,
+                           trace_dir=trace_dir)
+    return True
 
 
 def build_server(args: argparse.Namespace) -> ModelServer:
@@ -189,6 +223,12 @@ def worker_args_from(args: argparse.Namespace) -> List[str]:
         out.append("--no-extractor")
     if args.chaos:
         out.append("--chaos")
+    if getattr(args, "trace", False):
+        out.append("--trace")
+    if getattr(args, "trace_dir", None):
+        out += ["--trace-dir", args.trace_dir]
+    if getattr(args, "trace_sample", None) is not None:
+        out += ["--trace-sample", str(args.trace_sample)]
     return out
 
 
@@ -202,6 +242,8 @@ def build_fleet(args: argparse.Namespace) -> Router:
                  else config.get("host", "127.0.0.1")),
         worker_args=worker_args_from(args),
         chaos=args.chaos,
+        trace_dir=getattr(args, "trace_dir", None),
+        trace_sample=getattr(args, "trace_sample", None),
     )
     router = Router(
         supervisor,
@@ -230,6 +272,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    configure_tracing(args, service=f"worker-{server.address[1]}")
 
     if args.dry_run:
         print(json.dumps(server.health(), indent=2, sort_keys=True,
@@ -250,6 +293,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _main_fleet(args: argparse.Namespace) -> int:
+    configure_tracing(args, service="router")
     try:
         router = build_fleet(args)
     except (BundleError, EngineSelfCheckError, FleetError, OSError,

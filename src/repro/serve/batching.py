@@ -25,7 +25,9 @@ admitted, queued requests are answered, then the workers exit.
 
 from __future__ import annotations
 
+import re
 import threading
+import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
@@ -33,24 +35,38 @@ import numpy as np
 
 from ..reliability.degrade import (DeadlineExceededError, LoadShedder,
                                    OverloadShedError)
-from ..telemetry import clock, get_registry, span
+from ..telemetry import clock, get_registry, new_span_id, span
+from ..telemetry.reqtrace import HUB as _HUB
+from ..telemetry.reqtrace import TraceContext
 
 __all__ = ["MicroBatcher"]
 
 
 class _Request:
-    """One pending sample: features in, (result | error) out."""
+    """One pending sample: features in, (result | error) out.
+
+    ``trace_ctx`` (the submitter's request-trace context) rides along so
+    the dispatching worker thread can record the queue-wait and batch
+    spans into the *request's* trace; ``request_id`` (its trace id) is
+    attached to deadline/shed errors so a coalesced batch's failure
+    names the affected request.
+    """
 
     __slots__ = ("features", "event", "result", "error", "deadline",
-                 "enqueued_at")
+                 "enqueued_at", "enqueued_ts", "trace_ctx", "request_id")
 
-    def __init__(self, features: np.ndarray, deadline: Optional[float]):
+    def __init__(self, features: np.ndarray, deadline: Optional[float],
+                 trace_ctx: Optional[TraceContext] = None):
         self.features = features
         self.event = threading.Event()
         self.result: Optional[int] = None
         self.error: Optional[BaseException] = None
         self.deadline = deadline
         self.enqueued_at = clock()
+        self.enqueued_ts = time.time()
+        self.trace_ctx = trace_ctx
+        self.request_id = (trace_ctx.trace_id if trace_ctx is not None
+                           else None)
 
     def finish(self, result: Optional[int],
                error: Optional[BaseException] = None) -> None:
@@ -84,12 +100,17 @@ class MicroBatcher:
     default_timeout_s:
         Per-request deadline used when :meth:`submit` gets no explicit
         ``timeout_s``; ``None`` means wait forever.
+    model_label:
+        Name under which this batcher's shed/deadline rejections are
+        counted (``serve.batcher.{shed,deadline}.model.<label>``) and
+        attached to degradation errors; defaults to ``"default"``.
     """
 
     def __init__(self, predict_fn: Callable[[np.ndarray], np.ndarray],
                  max_batch_size: int = 32, max_latency_ms: float = 5.0,
                  workers: int = 2, shedder: Optional[LoadShedder] = None,
-                 default_timeout_s: Optional[float] = None):
+                 default_timeout_s: Optional[float] = None,
+                 model_label: Optional[str] = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_latency_ms < 0:
@@ -101,6 +122,10 @@ class MicroBatcher:
         self.max_latency_s = float(max_latency_ms) / 1000.0
         self.shedder = shedder
         self.default_timeout_s = default_timeout_s
+        self.model_label = model_label or "default"
+        safe_label = re.sub(r"[^0-9A-Za-z_]", "_", self.model_label)
+        self._shed_metric = f"serve.batcher.shed.model.{safe_label}"
+        self._deadline_metric = f"serve.batcher.deadline.model.{safe_label}"
         self._queue: Deque[_Request] = deque()
         self._cv = threading.Condition()
         self._stopping = False
@@ -123,29 +148,49 @@ class MicroBatcher:
         """Current queue depth (approximate outside the lock)."""
         return len(self._queue)
 
+    def _shed_error(self, message: str,
+                    request_id: Optional[str] = None) -> OverloadShedError:
+        get_registry().inc(self._shed_metric)
+        return OverloadShedError(message, request_id=request_id,
+                                 model=self.model_label)
+
+    def _deadline_error(self, message: str,
+                        request_id: Optional[str] = None,
+                        ) -> DeadlineExceededError:
+        get_registry().inc(self._deadline_metric)
+        return DeadlineExceededError(message, request_id=request_id,
+                                     model=self.model_label)
+
     def submit(self, features: np.ndarray,
-               timeout_s: Optional[float] = None) -> int:
+               timeout_s: Optional[float] = None,
+               trace_ctx: Optional[TraceContext] = None) -> int:
         """Blocking predict for one sample's ``(F,)`` feature vector.
 
         Raises :class:`OverloadShedError` when admission control rejects
         the request, :class:`DeadlineExceededError` when the deadline
         passes before a worker answers, and re-raises any engine error.
+        ``trace_ctx`` (defaulting to the thread's active request trace)
+        lets the dispatching worker record queue/batch spans into the
+        submitter's trace.
         """
         registry = get_registry()
         if timeout_s is None:
             timeout_s = self.default_timeout_s
+        if trace_ctx is None:
+            trace_ctx = _HUB.current()
         features = np.asarray(features, dtype=np.float64).reshape(-1)
         deadline = (clock() + timeout_s) if timeout_s is not None else None
-        request = _Request(features, deadline)
+        request = _Request(features, deadline, trace_ctx)
         with self._cv:
             if self._stopping:
                 raise RuntimeError("MicroBatcher is shut down")
             if (self.shedder is not None
                     and not self.shedder.admit(len(self._queue))):
                 self.stats["shed"] += 1
-                raise OverloadShedError(
+                raise self._shed_error(
                     f"queue depth {len(self._queue)} over high watermark "
-                    f"{self.shedder.high_watermark}")
+                    f"{self.shedder.high_watermark}",
+                    request_id=request.request_id)
             self.stats["submitted"] += 1
             self._queue.append(request)
             self._cv.notify()
@@ -158,9 +203,10 @@ class MicroBatcher:
             registry.inc("serve.batcher.deadline_exceeded")
             with self._cv:
                 self.stats["expired"] += 1
-            raise DeadlineExceededError(
+            raise self._deadline_error(
                 f"request expired after {timeout_s:.3f}s "
-                f"(queue depth {len(self._queue)})")
+                f"(queue depth {len(self._queue)})",
+                request_id=request.request_id)
         if request.error is not None:
             raise request.error
         result = request.result
@@ -175,7 +221,8 @@ class MicroBatcher:
                 for row in np.atleast_2d(features)]
 
     def submit_all(self, features: np.ndarray,
-                   timeout_s: Optional[float] = None) -> List[int]:
+                   timeout_s: Optional[float] = None,
+                   trace_ctx: Optional[TraceContext] = None) -> List[int]:
         """Enqueue a whole ``(n, F)`` matrix at once, then collect.
 
         Unlike :meth:`submit_many` (which blocks per row, serializing an
@@ -184,23 +231,28 @@ class MicroBatcher:
         them into full batches immediately.  This is what the HTTP
         ``/predict`` handler uses for multi-sample requests.  Raises the
         first per-row error (shed / deadline / engine failure) after all
-        rows settled.
+        rows settled.  All rows share one ``trace_ctx`` (one HTTP
+        request → one trace, however the rows get batched).
         """
         registry = get_registry()
         if timeout_s is None:
             timeout_s = self.default_timeout_s
+        if trace_ctx is None:
+            trace_ctx = _HUB.current()
         rows = np.atleast_2d(np.asarray(features, dtype=np.float64))
         deadline = (clock() + timeout_s) if timeout_s is not None else None
-        requests = [_Request(row.reshape(-1), deadline) for row in rows]
+        requests = [_Request(row.reshape(-1), deadline, trace_ctx)
+                    for row in rows]
         with self._cv:
             if self._stopping:
                 raise RuntimeError("MicroBatcher is shut down")
             if (self.shedder is not None
                     and not self.shedder.admit(len(self._queue))):
                 self.stats["shed"] += len(requests)
-                raise OverloadShedError(
+                raise self._shed_error(
                     f"queue depth {len(self._queue)} over high watermark "
-                    f"{self.shedder.high_watermark}")
+                    f"{self.shedder.high_watermark}",
+                    request_id=requests[0].request_id)
             self.stats["submitted"] += len(requests)
             self._queue.extend(requests)
             self._cv.notify_all()
@@ -216,8 +268,9 @@ class MicroBatcher:
                 registry.inc("serve.batcher.deadline_exceeded")
                 with self._cv:
                     self.stats["expired"] += 1
-                first_error = first_error or DeadlineExceededError(
-                    f"request expired after {timeout_s:.3f}s")
+                first_error = first_error or self._deadline_error(
+                    f"request expired after {timeout_s:.3f}s",
+                    request_id=request.request_id)
                 results.append(-1)
                 continue
             if request.error is not None:
@@ -246,8 +299,9 @@ class MicroBatcher:
                         and self._queue[0].deadline <= now:
                     request = self._queue.popleft()
                     self.stats["expired"] += 1
-                    request.finish(None, DeadlineExceededError(
-                        "request expired in queue"))
+                    request.finish(None, self._deadline_error(
+                        "request expired in queue",
+                        request_id=request.request_id))
                 if self._queue:
                     oldest = self._queue[0].enqueued_at
                     if (len(self._queue) >= self.max_batch_size
@@ -263,6 +317,28 @@ class MicroBatcher:
                     return None
                 self._cv.wait()
 
+    def _record_follower_dispatch(self, traced: List[_Request],
+                                  dispatch_ts: float, duration_s: float,
+                                  batch_attrs: Optional[dict],
+                                  error_text: Optional[str]) -> None:
+        """Mirror the lead's dispatch span into co-batched traces.
+
+        Only the lead member's context is active during the dispatch, so
+        the other traced members get a pre-timed ``serve.batcher.dispatch``
+        span naming the lead — their trace still shows when and with whom
+        the request was coalesced.
+        """
+        if len(traced) < 2:
+            return
+        hub = _HUB
+        attrs = dict(batch_attrs or {})
+        attrs["lead"] = traced[0].request_id
+        status = "error" if error_text else "ok"
+        for request in traced[1:]:
+            hub.record_span("serve.batcher.dispatch", request.trace_ctx,
+                            start_ts=dispatch_ts, duration_s=duration_s,
+                            attrs=attrs, status=status, error=error_text)
+
     def _worker_loop(self) -> None:
         registry = get_registry()
         while True:
@@ -273,18 +349,58 @@ class MicroBatcher:
                     if r.deadline is None or r.deadline > clock()]
             for request in batch:
                 if request not in live:
-                    request.finish(None, DeadlineExceededError(
-                        "request expired before dispatch"))
+                    request.finish(None, self._deadline_error(
+                        "request expired before dispatch",
+                        request_id=request.request_id))
             if not live:
                 continue
             stacked = np.stack([r.features for r in live])
             wait_ms = 1000.0 * (clock() - live[0].enqueued_at)
             registry.observe("serve.batcher.batch_size", float(len(live)))
             registry.observe("serve.batcher.queue_wait_ms", wait_ms)
+            # Request tracing: every traced member gets a queue-wait
+            # span; the *lead* member's context is activated around the
+            # dispatch so the engine/stage spans land in its trace, and
+            # the other members get pre-timed copies of the dispatch
+            # span linked to the shared batch id.
+            hub = _HUB
+            traced: List[_Request] = []
+            if hub.enabled:
+                # One span set per *trace* — a multi-row submit_all puts
+                # several requests with the same context in one batch.
+                seen_traces = set()
+                for request in live:
+                    ctx = request.trace_ctx
+                    if ctx is not None and ctx.trace_id not in seen_traces:
+                        seen_traces.add(ctx.trace_id)
+                        traced.append(request)
+            batch_attrs = None
+            dispatch_ts = 0.0
+            if traced:
+                batch_id = new_span_id()
+                now_perf, dispatch_ts = clock(), time.time()
+                batch_attrs = {"batch_id": batch_id,
+                               "batch_size": len(live),
+                               "members": [r.request_id for r in traced]}
+                for request in traced:
+                    hub.record_span(
+                        "serve.batcher.queue", request.trace_ctx,
+                        start_ts=request.enqueued_ts,
+                        duration_s=now_perf - request.enqueued_at,
+                        attrs={"batch_id": batch_id})
+            t0 = clock()
+            error_text: Optional[str] = None
             try:
-                with span("serve.batcher.dispatch",
-                          nbytes=int(stacked.nbytes)):
-                    result = self.predict_fn(stacked)
+                if traced:
+                    with hub.activate(traced[0].trace_ctx):
+                        with span("serve.batcher.dispatch",
+                                  nbytes=int(stacked.nbytes),
+                                  attrs=batch_attrs):
+                            result = self.predict_fn(stacked)
+                else:
+                    with span("serve.batcher.dispatch",
+                              nbytes=int(stacked.nbytes)):
+                        result = self.predict_fn(stacked)
                 # ``predict_fn`` may tag its batch: a ``(labels, meta)``
                 # return delivers each row as ``(label, meta)``, letting
                 # callers attribute every answer to the engine snapshot
@@ -295,12 +411,19 @@ class MicroBatcher:
                     result, meta = result
                 labels = np.asarray(result)
             except BaseException as exc:  # surfaced per request
+                error_text = f"{type(exc).__name__}: {exc}"
+                self._record_follower_dispatch(traced, dispatch_ts,
+                                               clock() - t0, batch_attrs,
+                                               error_text)
                 with self._cv:
                     self.stats["errors"] += len(live)
                 registry.inc("serve.batcher.errors", len(live))
                 for request in live:
                     request.finish(None, exc)
                 continue
+            self._record_follower_dispatch(traced, dispatch_ts,
+                                           clock() - t0, batch_attrs,
+                                           error_text)
             with self._cv:
                 self.stats["batches"] += 1
                 self.stats["completed"] += len(live)

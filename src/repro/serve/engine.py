@@ -37,7 +37,7 @@ import numpy as np
 
 from ..hd.similarity import classify
 from ..pipeline import PackedClassifyStage
-from ..telemetry import get_registry, span
+from ..telemetry import get_registry, request_span, span
 from ..utils.rng import fresh_rng
 from .bundle import BundleError, ModelBundle
 
@@ -231,9 +231,16 @@ class InferenceEngine:
         registry.inc("serve.samples", len(raw_features))
         with span("serve.predict", nbytes=int(raw_features.nbytes)):
             encoded = self.encode_features(raw_features)
+            # The classify stage runs outside graph.run (packed-path
+            # selection happens here), so give it its own request-trace
+            # stage span — every StageGraph stage shows up per request.
             if self._packed_stage is not None:
-                return self._packed_stage(encoded)
-            return np.asarray(self._classify(encoded))
+                stage = self._packed_stage
+            else:
+                stage = self._classify
+            with request_span(getattr(stage, "span_name",
+                                      "stage.similarity")):
+                return np.asarray(stage(encoded))
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Class predictions for raw NCHW images (end-to-end)."""

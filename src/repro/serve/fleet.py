@@ -149,6 +149,15 @@ class Supervisor:
     chaos:
         Arm the workers' ``POST /slow`` fault-injection endpoint
         (``REPRO_SERVE_CHAOS=1`` in the child environment).
+    trace_dir:
+        Enable request tracing in every spawned worker and point its
+        JSONL span exporter at this directory (``REPRO_TRACE_DIR`` in
+        the child environment) — each worker writes
+        ``trace-<service>-<pid>.jsonl`` there and the cross-process
+        stitcher joins them with the router's file.
+    trace_sample:
+        Worker-side head-sampling rate forwarded as
+        ``REPRO_TRACE_SAMPLE`` (only meaningful with ``trace_dir``).
     log_dir:
         Per-worker stdout/stderr capture files (default: devnull).
     spawn_fn / probe_fn / clock:
@@ -170,6 +179,8 @@ class Supervisor:
                  crash_loop_window_s: float = 30.0,
                  worker_args: Sequence[str] = (),
                  chaos: bool = False,
+                 trace_dir: Optional[str] = None,
+                 trace_sample: Optional[float] = None,
                  log_dir: Optional[str] = None,
                  spawn_fn: Optional[Callable[["Worker"], Any]] = None,
                  probe_fn: Optional[
@@ -192,6 +203,8 @@ class Supervisor:
         self.crash_loop_window_s = float(crash_loop_window_s)
         self.worker_args = list(worker_args)
         self.chaos = bool(chaos)
+        self.trace_dir = trace_dir
+        self.trace_sample = trace_sample
         self.log_dir = log_dir
         self._spawn_fn = spawn_fn or self._default_spawn
         self._probe_fn = probe_fn or self._default_probe
@@ -221,6 +234,11 @@ class Supervisor:
             if env.get("PYTHONPATH") else "")
         if self.chaos:
             env["REPRO_SERVE_CHAOS"] = "1"
+        if self.trace_dir:
+            env["REPRO_TRACE"] = "1"
+            env["REPRO_TRACE_DIR"] = self.trace_dir
+            if self.trace_sample is not None:
+                env["REPRO_TRACE_SAMPLE"] = str(self.trace_sample)
         if self.log_dir:
             os.makedirs(self.log_dir, exist_ok=True)
             handle = open(os.path.join(

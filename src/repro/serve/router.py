@@ -53,7 +53,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..reliability.circuit import CircuitBreaker
-from ..telemetry import clock, get_registry, prometheus_text
+from ..telemetry import (BurnRateTracker, clock, get_registry,
+                         get_request_log, prometheus_text, request_span)
+from ..telemetry.reqtrace import HUB as _HUB
+from ..telemetry.reqtrace import TraceContext, _RequestTrace
+from .server import _requestz_payload, _tracez_payload
 
 __all__ = ["Router", "HashRing"]
 
@@ -142,13 +146,17 @@ class _WorkerClient:
         conn.close()
 
     def request(self, method: str, path: str, body: bytes = b"",
-                content_type: str = "application/json"
+                content_type: str = "application/json",
+                headers: Optional[Dict[str, str]] = None
                 ) -> Tuple[int, bytes]:
+        send_headers = {"Content-Type": content_type}
+        if headers:
+            send_headers.update(headers)
         conn, reused = self._checkout()
         while True:
             try:
                 conn.request(method, path, body=body or None,
-                             headers={"Content-Type": content_type})
+                             headers=send_headers)
                 response = conn.getresponse()
                 data = response.read()
                 status = response.status
@@ -185,6 +193,24 @@ class _RouterHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: "_RouterHTTPServer"
 
+    #: Trace context echoed on every response (404s and drain-rejects
+    #: included); /predict swaps in its live root-span context.
+    _trace_ctx: Optional[TraceContext] = None
+
+    def _begin_request(self) -> TraceContext:
+        ctx = TraceContext.parse(self.headers.get("traceparent"))
+        if ctx is None:
+            ctx = TraceContext.mint(sampled=False)
+        self._trace_ctx = ctx
+        return ctx
+
+    def _trace_headers(self) -> Dict[str, str]:
+        ctx = self._trace_ctx
+        if ctx is None:
+            return {}
+        return {"X-Trace-Id": ctx.trace_id,
+                "traceparent": ctx.to_traceparent()}
+
     def _send_json(self, status: int, payload: Dict[str, Any],
                    headers: Optional[Dict[str, str]] = None) -> None:
         self._send_raw(status, json.dumps(payload).encode("utf-8"),
@@ -196,6 +222,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in self._trace_headers().items():
+                self.send_header(name, value)
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
             self.end_headers()
@@ -210,6 +238,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         app = self.server.app
         url = urllib.parse.urlsplit(self.path)
+        self._begin_request()
         if url.path == "/healthz":
             payload = app.health()
             self._send_json(200 if payload["status"] != "down" else 503,
@@ -217,11 +246,16 @@ class _RouterHandler(BaseHTTPRequestHandler):
         elif url.path == "/metrics":
             self._send_raw(200, prometheus_text().encode("utf-8"),
                            "text/plain; charset=utf-8")
+        elif url.path == "/tracez":
+            self._send_json(*_tracez_payload(url.query))
+        elif url.path == "/requestz":
+            self._send_json(200, _requestz_payload(url.query))
         else:
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         app = self.server.app
+        self._begin_request()
         length = int(self.headers.get("Content-Length", 0))
         try:
             body = self.rfile.read(length)
@@ -230,7 +264,19 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             return
         if self.path == "/predict":
-            status, data, headers = app.route_predict(body)
+            # Root span of the whole distributed request: the routed
+            # worker's server.request hangs under one of this trace's
+            # router.attempt spans.  Closed *before* the response goes
+            # out so an immediate /tracez lookup already sees it.
+            parent = TraceContext.parse(self.headers.get("traceparent"))
+            with _HUB.trace("router.request", parent=parent,
+                            attrs={"path": "/predict"}) as trace:
+                self._trace_ctx = trace.ctx
+                status, data, headers = app.route_predict(body,
+                                                          trace=trace)
+                trace.annotate(status=status)
+                if status >= 500:
+                    trace.set_error(f"HTTP {status}")
             self._send_raw(status, data, "application/json", headers)
         elif self.path == "/reload":
             status, payload = app.broadcast_reload(body)
@@ -278,6 +324,13 @@ class Router:
         :class:`~repro.reliability.CircuitBreaker`.
     own_fleet:
         Stop the fleet when the router stops (CLI mode).
+    slo_objective:
+        Availability/latency success objective for the burn-rate
+        trackers (fraction of requests that must succeed / meet the
+        latency target); exported as ``fleet.slo.*`` gauges.
+    slo_latency_ms:
+        Latency target a request must meet to count as "fast" for the
+        latency SLO.
     """
 
     def __init__(self, fleet: Any, host: str = "127.0.0.1", port: int = 0,
@@ -285,7 +338,9 @@ class Router:
                  retry_backoff_s: float = 0.05,
                  request_timeout_s: float = 10.0,
                  breaker_options: Optional[Dict[str, Any]] = None,
-                 own_fleet: bool = False):
+                 own_fleet: bool = False,
+                 slo_objective: float = 0.999,
+                 slo_latency_ms: float = 250.0):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.fleet = fleet
@@ -295,6 +350,9 @@ class Router:
         self.request_timeout_s = float(request_timeout_s)
         self.breaker_options = dict(breaker_options or {})
         self.own_fleet = bool(own_fleet)
+        self.slo_latency_ms = float(slo_latency_ms)
+        self.slo_availability = BurnRateTracker(objective=slo_objective)
+        self.slo_latency = BurnRateTracker(objective=slo_objective)
         self.draining = False
         self._ring: Optional[HashRing] = None
         self._ring_members: Tuple[str, ...] = ()
@@ -342,38 +400,82 @@ class Router:
     # ------------------------------------------------------------------
     # Request routing
     # ------------------------------------------------------------------
-    def route_predict(self, body: bytes
+    def route_predict(self, body: bytes,
+                      trace: Optional[_RequestTrace] = None
                       ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         """Route one ``/predict`` body; returns (status, body, headers).
 
         Non-retryable worker answers (2xx, 4xx) pass through verbatim —
         they are the worker's verdict on the request, not a worker
-        fault.
+        fault.  ``trace`` (the handler's open root span) threads the
+        request id into error payloads, the request log, and the
+        latency exemplar; each forwarding attempt opens a
+        ``router.attempt`` child span whose context travels to the
+        worker as its ``traceparent``.
         """
         registry = get_registry()
+        request_id = trace.trace_id if trace is not None else None
         if self.draining:
             registry.inc("fleet.router.draining_rejects")
+            self._record_slo(503, 0.0)
             return (503, json.dumps(
-                {"error": "router is draining", "retryable": True}
+                {"error": "router is draining", "retryable": True,
+                 "request_id": request_id}
             ).encode("utf-8"), {"Retry-After": "1"})
         with self._idle:
             self._inflight += 1
         t0 = clock()
+        status = 500
         try:
-            return self._route_predict_inner(body)
+            status, data, headers = self._route_predict_inner(body, trace)
+            return status, data, headers
         finally:
-            registry.observe("fleet.router.latency_ms",
-                             1000.0 * (clock() - t0))
+            latency_ms = 1000.0 * (clock() - t0)
+            registry.observe("fleet.router.latency_ms", latency_ms,
+                             exemplar=request_id)
+            self._record_slo(status, latency_ms)
+            if trace is not None:
+                get_request_log().append(
+                    path="/predict", status=status, trace_id=request_id,
+                    latency_ms=round(latency_ms, 3),
+                    error=(f"HTTP {status}" if status >= 500 else None))
             with self._idle:
                 self._inflight -= 1
                 if self._inflight == 0:
                     self._idle.notify_all()
 
-    def _route_predict_inner(self, body: bytes
+    def _record_slo(self, status: int, latency_ms: float) -> None:
+        """Feed the burn-rate trackers and refresh the SLO gauges.
+
+        Availability counts any non-5xx answer as success (4xx is the
+        client's fault, not the fleet's); the latency SLO counts
+        successful answers under ``slo_latency_ms``.
+        """
+        registry = get_registry()
+        ok = status < 500
+        self.slo_availability.record(ok)
+        self.slo_latency.record(ok and latency_ms <= self.slo_latency_ms)
+        registry.set_gauge("fleet.slo.availability.burn_fast",
+                           self.slo_availability.burn_rate(
+                               self.slo_availability.fast_window_s))
+        registry.set_gauge("fleet.slo.availability.burn_slow",
+                           self.slo_availability.burn_rate(
+                               self.slo_availability.slow_window_s))
+        registry.set_gauge("fleet.slo.latency.burn_fast",
+                           self.slo_latency.burn_rate(
+                               self.slo_latency.fast_window_s))
+        registry.set_gauge("fleet.slo.latency.burn_slow",
+                           self.slo_latency.burn_rate(
+                               self.slo_latency.slow_window_s))
+
+    def _route_predict_inner(self, body: bytes,
+                             trace: Optional[_RequestTrace] = None
                              ) -> Tuple[int, bytes,
                                         Optional[Dict[str, str]]]:
         registry = get_registry()
         registry.inc("fleet.router.requests")
+        request_id = trace.trace_id if trace is not None else None
+        root_ctx = trace.ctx if trace is not None else None
         members = self.fleet.all_workers()
         healthy = dict(self.fleet.healthy_workers())
         ring = self._ring_for(members)
@@ -383,8 +485,8 @@ class Router:
             registry.inc("fleet.router.no_backend")
             return (503, json.dumps(
                 {"error": "no healthy worker in rotation",
-                 "retryable": True}).encode("utf-8"),
-                {"Retry-After": "1"})
+                 "retryable": True, "request_id": request_id}
+            ).encode("utf-8"), {"Retry-After": "1"})
 
         attempts = 0
         last_failure = "all workers refused by circuit breakers"
@@ -394,26 +496,47 @@ class Router:
             breaker = self.breaker(worker_id)
             if not breaker.allow():
                 registry.inc("fleet.router.breaker_skips")
+                _HUB.event("router.breaker_skip", {"worker": worker_id})
                 continue
             if attempts:
                 registry.inc("fleet.router.retries")
-                time.sleep(self.retry_backoff_s * (2.0 ** (attempts - 1)))
+                backoff_s = self.retry_backoff_s * (2.0 ** (attempts - 1))
+                with request_span("router.retry_backoff",
+                                  backoff_s=backoff_s):
+                    time.sleep(backoff_s)
             attempts += 1
             client = self._client(worker_id, healthy[worker_id])
-            try:
-                status, data = client.request("POST", "/predict", body)
-            except Exception as exc:
-                breaker.record_failure()
-                registry.inc("fleet.router.connect_errors")
-                last_failure = (f"{worker_id}: "
-                                f"{type(exc).__name__}: {exc}")
-                continue
-            if status in _RETRYABLE_STATUSES:
-                breaker.record_failure()
-                registry.inc("fleet.router.upstream_errors")
-                last_failure = f"{worker_id}: HTTP {status}"
-                continue
-            breaker.record_success()
+            # The attempt span's context is the traceparent the worker
+            # sees, so its server.request hop hangs under *this attempt*
+            # (failover retries become sibling attempts in the tree).
+            # With tracing disabled the root context still travels —
+            # the worker echoes the same request id either way.
+            with request_span("router.attempt", worker=worker_id,
+                              attempt=attempts) as attempt_span:
+                fwd_ctx = attempt_span.ctx or root_ctx
+                fwd_headers = None
+                if fwd_ctx is not None:
+                    fwd_headers = {
+                        "traceparent": fwd_ctx.to_traceparent(),
+                        "X-Trace-Id": fwd_ctx.trace_id}
+                try:
+                    status, data = client.request(
+                        "POST", "/predict", body, headers=fwd_headers)
+                except Exception as exc:
+                    breaker.record_failure()
+                    registry.inc("fleet.router.connect_errors")
+                    last_failure = (f"{worker_id}: "
+                                    f"{type(exc).__name__}: {exc}")
+                    attempt_span.set_error(last_failure)
+                    continue
+                attempt_span.annotate(status=status)
+                if status in _RETRYABLE_STATUSES:
+                    breaker.record_failure()
+                    registry.inc("fleet.router.upstream_errors")
+                    last_failure = f"{worker_id}: HTTP {status}"
+                    attempt_span.set_error(last_failure)
+                    continue
+                breaker.record_success()
             if attempts > 1:
                 registry.inc("fleet.router.rerouted")
             return status, data, None
@@ -421,7 +544,8 @@ class Router:
         return (503, json.dumps(
             {"error": f"no worker answered after {attempts} attempts "
                       f"(last: {last_failure})",
-             "retryable": True}).encode("utf-8"), {"Retry-After": "1"})
+             "retryable": True, "request_id": request_id}
+            ).encode("utf-8"), {"Retry-After": "1"})
 
     def broadcast_reload(self, body: bytes
                          ) -> Tuple[int, Dict[str, Any]]:
@@ -477,6 +601,11 @@ class Router:
             "fleet": fleet,
             "breakers": breakers,
             "inflight": self._inflight,
+            "slo": {
+                "latency_target_ms": self.slo_latency_ms,
+                "availability": self.slo_availability.summary(),
+                "latency": self.slo_latency.summary(),
+            },
         }
 
     @property

@@ -56,7 +56,10 @@ import numpy as np
 
 from ..reliability.degrade import (DeadlineExceededError, LoadShedder,
                                    OverloadShedError)
-from ..telemetry import clock, get_registry, prometheus_text
+from ..telemetry import (clock, get_flight_recorder, get_registry,
+                         get_request_log, prometheus_text)
+from ..telemetry.reqtrace import HUB as _HUB
+from ..telemetry.reqtrace import TraceContext
 from .batching import MicroBatcher
 from .bundle import BundleError, ModelBundle
 from .engine import EngineSelfCheckError, InferenceEngine
@@ -82,7 +85,32 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: "_HTTPServer"
 
+    #: Request-trace context echoed on every response of the current
+    #: request (set at the top of do_GET/do_POST, refreshed by /predict
+    #: with its live root-span context).
+    _trace_ctx: Optional[TraceContext] = None
+
     # -- helpers -------------------------------------------------------
+    def _begin_request(self) -> TraceContext:
+        """Adopt the client's traceparent (or mint a request id).
+
+        Every response — including 404/400/503/504/500 — carries
+        ``X-Trace-Id`` + ``traceparent`` headers built from this
+        context, whether or not tracing is enabled.
+        """
+        ctx = TraceContext.parse(self.headers.get("traceparent"))
+        if ctx is None:
+            ctx = TraceContext.mint(sampled=False)
+        self._trace_ctx = ctx
+        return ctx
+
+    def _trace_headers(self) -> Dict[str, str]:
+        ctx = self._trace_ctx
+        if ctx is None:
+            return {}
+        return {"X-Trace-Id": ctx.trace_id,
+                "traceparent": ctx.to_traceparent()}
+
     def _send_json(self, status: int, payload: Dict[str, Any],
                    headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -90,6 +118,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in self._trace_headers().items():
+                self.send_header(name, value)
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
             self.end_headers()
@@ -106,6 +136,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in self._trace_headers().items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
         except _DISCONNECTS:
@@ -121,6 +153,11 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         app = self.server.app
         url = urllib.parse.urlsplit(self.path)
+        # Probe endpoints are *not* traced (a supervisor heartbeats
+        # /healthz several times a second — root spans for those would
+        # churn the flight recorder), but every response still echoes a
+        # request id.
+        self._begin_request()
         if url.path == "/healthz":
             app._maybe_stall()
             query = urllib.parse.parse_qs(url.query)
@@ -130,11 +167,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(status, payload)
         elif url.path == "/metrics":
             self._send_text(200, prometheus_text())
+        elif url.path == "/tracez":
+            self._send_json(*_tracez_payload(url.query))
+        elif url.path == "/requestz":
+            self._send_json(200, _requestz_payload(url.query))
         else:
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         app = self.server.app
+        self._begin_request()
         if self.path == "/reload":
             self._do_reload(app)
             return
@@ -145,33 +187,82 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no route {self.path!r}"})
             return
         registry = get_registry()
-        try:
-            app._maybe_stall()
-            length = int(self.headers.get("Content-Length", 0))
-            features = _parse_features(self.rfile.read(length))
-            labels, models = app.predict_tagged(features)
-        except _DISCONNECTS:
-            registry.inc("serve.client_disconnect")
-            self.close_connection = True
-            return
-        except RequestError as exc:
-            registry.inc("serve.http.bad_request")
-            self._send_json(400, {"error": str(exc)})
-        except OverloadShedError as exc:
-            registry.inc("serve.http.shed")
-            self._send_json(503, {"error": str(exc), "retryable": True},
-                            headers={"Retry-After": "1"})
-        except DeadlineExceededError as exc:
-            registry.inc("serve.http.deadline")
-            self._send_json(504, {"error": str(exc), "retryable": True})
-        except Exception as exc:  # engine failure
-            registry.inc("serve.http.internal_error")
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
-        else:
-            self._send_json(200, {
-                "labels": [int(label) for label in labels],
-                "model": models[0] if len(models) == 1 else models,
-            })
+        # Root span of this worker's part of the request.  The client's
+        # traceparent (router or external) becomes the parent, so the
+        # cross-process stitcher hangs this hop under the router's
+        # attempt span.  Works with tracing disabled too — the context
+        # still carries the request id every response echoes.
+        client_parent = TraceContext.parse(self.headers.get("traceparent"))
+        # The response is sent AFTER the root span closes, so by the
+        # time the client holds its trace id the flight recorder has
+        # already retained the trace — an immediate /tracez lookup
+        # cannot race the request it is looking for.
+        response: Optional[Tuple[int, Dict[str, Any],
+                                 Optional[Dict[str, str]]]] = None
+        with _HUB.trace("server.request",
+                        parent=client_parent,
+                        attrs={"path": "/predict"}) as trace:
+            self._trace_ctx = trace.ctx
+            t0 = clock()
+            n_rows = 0
+            status, error_text = 200, None
+            try:
+                app._maybe_stall()
+                length = int(self.headers.get("Content-Length", 0))
+                features = _parse_features(self.rfile.read(length))
+                n_rows = len(features)
+                labels, models = app.predict_tagged(
+                    features, trace_ctx=trace.ctx)
+            except _DISCONNECTS:
+                registry.inc("serve.client_disconnect")
+                trace.set_error("client disconnect")
+                self.close_connection = True
+                return
+            except RequestError as exc:
+                status, error_text = 400, str(exc)
+                registry.inc("serve.http.bad_request")
+                response = (400, {"error": str(exc),
+                                  "request_id": trace.trace_id}, None)
+            except OverloadShedError as exc:
+                status, error_text = 503, str(exc)
+                registry.inc("serve.http.shed")
+                response = (
+                    503, {"error": str(exc), "retryable": True,
+                          "request_id": exc.request_id or trace.trace_id,
+                          "model": exc.model},
+                    {"Retry-After": "1"})
+            except DeadlineExceededError as exc:
+                status, error_text = 504, str(exc)
+                registry.inc("serve.http.deadline")
+                response = (
+                    504, {"error": str(exc), "retryable": True,
+                          "request_id": exc.request_id or trace.trace_id,
+                          "model": exc.model}, None)
+            except Exception as exc:  # engine failure
+                status = 500
+                error_text = f"{type(exc).__name__}: {exc}"
+                registry.inc("serve.http.internal_error")
+                response = (500, {"error": error_text,
+                                  "request_id": trace.trace_id}, None)
+            else:
+                response = (200, {
+                    "labels": [int(label) for label in labels],
+                    "model": models[0] if len(models) == 1 else models,
+                    "request_id": trace.trace_id,
+                }, None)
+            latency_ms = 1000.0 * (clock() - t0)
+            # The P99 exemplar points at a real recent trace: a slow
+            # /metrics scrape can be chased into /tracez directly.
+            registry.observe("serve.latency_ms", latency_ms,
+                             exemplar=trace.trace_id)
+            trace.annotate(status=status, rows=n_rows)
+            if error_text is not None:
+                trace.set_error(error_text)
+            get_request_log().append(
+                path="/predict", status=status, trace_id=trace.trace_id,
+                latency_ms=round(latency_ms, 3), rows=n_rows,
+                error=error_text)
+        self._send_json(response[0], response[1], headers=response[2])
 
     def _do_reload(self, app: "ModelServer") -> None:
         """``POST /reload``: swap in a re-verified bundle (or refuse).
@@ -222,6 +313,45 @@ class _Handler(BaseHTTPRequestHandler):
         get_registry().inc("serve.chaos.stalls")
         app.stall(stall_s)
         self._send_json(200, {"stalled_s": stall_s})
+
+
+def _tracez_payload(query: str) -> Tuple[int, Dict[str, Any]]:
+    """``GET /tracez`` body: flight-recorder snapshot or one trace.
+
+    ``?trace_id=<id>`` looks up a retained trace (404 with the retained
+    id list when it aged out); no query returns the recorder snapshot
+    (retained traces sorted slowest-first, active-trace count, stats).
+    Shared by the worker and router handlers.
+    """
+    params = urllib.parse.parse_qs(query)
+    trace_id = params.get("trace_id", [None])[-1]
+    recorder = get_flight_recorder()
+    if trace_id:
+        found = recorder.lookup(trace_id)
+        if found is None:
+            return 404, {"error": f"trace {trace_id!r} not retained",
+                         "retained": recorder.retained_ids()}
+        return 200, found
+    return 200, recorder.snapshot()
+
+
+def _requestz_payload(query: str) -> Dict[str, Any]:
+    """``GET /requestz`` body: the structured request log (newest first).
+
+    ``?limit=N`` bounds the slice, ``?errors=1`` filters to failures,
+    ``?trace_id=<id>`` pulls one request's record.
+    """
+    params = urllib.parse.parse_qs(query)
+    try:
+        limit = int(params.get("limit", ["100"])[-1])
+    except ValueError:
+        limit = 100
+    errors_only = params.get("errors", ["0"])[-1] not in ("0", "", "false")
+    trace_id = params.get("trace_id", [None])[-1]
+    log = get_request_log()
+    return {"requests": log.snapshot(limit=limit, trace_id=trace_id,
+                                     errors_only=errors_only),
+            "appended": log.appended}
 
 
 def _parse_features(body: bytes) -> np.ndarray:
@@ -329,10 +459,14 @@ class ModelServer:
         # ``self.engine`` per batch) instead of a bound method, so a hot
         # reload only has to swap the attribute — in-flight batches
         # finish on whichever engine they started with.
+        bundle = getattr(engine, "bundle", None)
+        model_label = (bundle.info.get("pipeline")
+                       if bundle is not None else None)
         self.batcher = MicroBatcher(
             self._predict_batch, max_batch_size=max_batch_size,
             max_latency_ms=max_latency_ms, workers=workers,
-            shedder=self.shedder, default_timeout_s=timeout_s)
+            shedder=self.shedder, default_timeout_s=timeout_s,
+            model_label=model_label)
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.app = self
         self._thread: Optional[threading.Thread] = None
@@ -367,14 +501,18 @@ class ModelServer:
         """
         return self.predict_tagged(features)[0]
 
-    def predict_tagged(self, features: np.ndarray) -> tuple:
+    def predict_tagged(self, features: np.ndarray,
+                       trace_ctx: Optional[TraceContext] = None) -> tuple:
         """Like :meth:`predict`, plus the fingerprint(s) that served it.
 
         Returns ``(labels, models)`` where ``models`` lists the distinct
         config fingerprints of the engine snapshots that computed the
         rows (one entry unless a hot reload landed mid-request).
+        ``trace_ctx`` rides into the batcher so queue/dispatch spans
+        (and shed/deadline request ids) attach to the HTTP request's
+        trace even when called from a non-traced thread.
         """
-        results = self.batcher.submit_all(features)
+        results = self.batcher.submit_all(features, trace_ctx=trace_ctx)
         labels = [label for label, _ in results]
         models = []
         for _, fingerprint in results:

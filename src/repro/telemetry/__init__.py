@@ -51,12 +51,16 @@ from .diagnostics import (DiagnosticsCallback, class_drift,
 from .exporters import (NONFINITE_KEY, collect_events, decode_non_finite,
                         encode_non_finite, export_jsonl, export_prometheus,
                         parse_prometheus, prometheus_text, read_jsonl,
-                        sanitize_metric_name)
+                        read_trace_jsonl, render_trace_tree,
+                        sanitize_metric_name, stitch_traces)
+from .flight import (FlightRecorder, RequestLog, disable_request_tracing,
+                     enable_request_tracing, get_flight_recorder,
+                     get_request_log, tracing_env_options)
 from .ledger import (DEFAULT_LEDGER_DIR, LEDGER_SCHEMA_VERSION, RunLedger,
                      RunRecord, config_fingerprint, diff_records,
                      diff_report, env_digest, env_fingerprint, git_info)
-from .metrics import (DEFAULT_QUANTILES, Counter, Gauge, Histogram,
-                      MetricsRegistry, P2Quantile, get_registry,
+from .metrics import (DEFAULT_QUANTILES, BurnRateTracker, Counter, Gauge,
+                      Histogram, MetricsRegistry, P2Quantile, get_registry,
                       set_registry, use_registry)
 from .profiler import (LayerStat, OpStat, Profiler, disabled_overhead_ratio,
                        get_active_profiler)
@@ -66,16 +70,31 @@ from .regress import (DEFAULT_ACCURACY_SPEC, DEFAULT_STAGE_SPEC,
                       tolerance, with_threshold)
 from .report import (diagnostics_section, format_table, render_report,
                      sparkline, stage_breakdown, trend_section)
+from .reqtrace import (TRACE_EVENT_TYPE, SpanRecord, TraceContext, TraceHub,
+                       TraceJsonlWriter, build_span_tree, get_hub,
+                       new_span_id, request_span, request_tracing_active,
+                       sample_trace, trace_file_for)
 from .tracing import (SpanNode, Tracer, add_bytes, clock, current_span,
-                      get_tracer, set_tracer, span)
+                      disabled_request_trace_overhead, get_tracer,
+                      set_tracer, span)
 
 __all__ = [
     # metrics
     "Counter", "Gauge", "Histogram", "P2Quantile", "MetricsRegistry",
-    "get_registry", "set_registry", "use_registry", "DEFAULT_QUANTILES",
+    "BurnRateTracker", "get_registry", "set_registry", "use_registry",
+    "DEFAULT_QUANTILES",
     # tracing
     "SpanNode", "Tracer", "span", "get_tracer", "set_tracer",
     "current_span", "add_bytes", "clock",
+    "disabled_request_trace_overhead",
+    # request tracing
+    "TraceContext", "SpanRecord", "TraceHub", "TraceJsonlWriter",
+    "request_span", "get_hub", "request_tracing_active", "sample_trace",
+    "build_span_tree", "trace_file_for", "new_span_id", "TRACE_EVENT_TYPE",
+    # flight recorder + request log
+    "FlightRecorder", "RequestLog", "get_flight_recorder",
+    "get_request_log", "enable_request_tracing", "disable_request_tracing",
+    "tracing_env_options",
     # profiler
     "OpStat", "LayerStat", "Profiler", "get_active_profiler",
     "disabled_overhead_ratio",
@@ -83,6 +102,7 @@ __all__ = [
     "collect_events", "export_jsonl", "read_jsonl", "prometheus_text",
     "export_prometheus", "parse_prometheus", "sanitize_metric_name",
     "encode_non_finite", "decode_non_finite", "NONFINITE_KEY",
+    "read_trace_jsonl", "stitch_traces", "render_trace_tree",
     # report
     "format_table", "render_report", "stage_breakdown", "sparkline",
     "trend_section", "diagnostics_section",

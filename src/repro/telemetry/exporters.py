@@ -28,12 +28,14 @@ import time
 from typing import Dict, List, Optional
 
 from .metrics import MetricsRegistry, get_registry
+from .reqtrace import TRACE_EVENT_TYPE, build_span_tree
 from .tracing import Tracer, get_tracer
 
 __all__ = ["collect_events", "export_jsonl", "read_jsonl",
            "prometheus_text", "export_prometheus", "parse_prometheus",
            "sanitize_metric_name", "encode_non_finite", "decode_non_finite",
-           "NONFINITE_KEY"]
+           "NONFINITE_KEY", "read_trace_jsonl", "stitch_traces",
+           "render_trace_tree"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -186,12 +188,21 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None,
             lines.append(f"{metric} {_prom_value(entry['value'])}")
         elif kind == "histogram":
             lines.append(f"# TYPE {metric} summary")
+            exemplars = entry.get("exemplars") or {}
             for key, value in entry.items():
-                if not key.startswith("p"):
+                if not key.startswith("p") or key == "exemplars":
                     continue
                 quantile = float(key[1:]) / 100.0
-                lines.append(f'{metric}{{quantile="{quantile:g}"}} '
-                             f"{_prom_value(value)}")
+                line = (f'{metric}{{quantile="{quantile:g}"}} '
+                        f"{_prom_value(value)}")
+                exemplar = exemplars.get(key)
+                if exemplar:
+                    # OpenMetrics exemplar syntax:
+                    #   value # {trace_id="…"} exemplar_value timestamp
+                    line += (f' # {{trace_id="{exemplar["trace_id"]}"}} '
+                             f'{_prom_value(exemplar["value"])} '
+                             f'{float(exemplar.get("ts", 0.0)):.3f}')
+                lines.append(line)
             lines.append(f"{metric}_sum {_prom_value(entry.get('sum', 0.0))}")
             lines.append(f"{metric}_count {entry.get('count', 0):g}")
     return "\n".join(lines) + ("\n" if lines else "")
@@ -209,7 +220,11 @@ def export_prometheus(path: str,
 
 _SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-    r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s]+)$')
+    r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s#]+)'
+    r'(?:\s+#\s+\{(?P<ex_labels>[^}]*)\}\s+(?P<ex_value>[^\s]+)'
+    r'(?:\s+(?P<ex_ts>[^\s]+))?)?$')
+
+_EX_TRACE_RE = re.compile(r'trace_id="(?P<trace_id>[^"]*)"')
 
 
 def parse_prometheus(text: str) -> Dict[str, Dict[str, object]]:
@@ -245,4 +260,106 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, object]]:
         if base != name:
             key = name[len(base) + 1:]  # "sum" / "count"
         entry["samples"][key] = float(match.group("value"))
+        if match.group("ex_labels") is not None:
+            trace = _EX_TRACE_RE.search(match.group("ex_labels"))
+            exemplar = {
+                "trace_id": trace.group("trace_id") if trace else "",
+                "value": float(match.group("ex_value")),
+            }
+            if match.group("ex_ts"):
+                exemplar["ts"] = float(match.group("ex_ts"))
+            entry.setdefault("exemplars", {})[key] = exemplar
     return out
+
+
+# ----------------------------------------------------------------------
+# Cross-process trace stitching
+# ----------------------------------------------------------------------
+def read_trace_jsonl(*paths: str) -> List[Dict[str, object]]:
+    """Load per-request span events from one or more trace JSONL files.
+
+    Each file is one process's :class:`~repro.telemetry.TraceJsonlWriter`
+    output (router, workers, …); non-span lines are ignored so the
+    files can share a directory with other telemetry exports.
+    """
+    events: List[Dict[str, object]] = []
+    for path in paths:
+        events.extend(event for event in read_jsonl(path)
+                      if event.get("type") == TRACE_EVENT_TYPE)
+    return events
+
+
+def stitch_traces(events: List[Dict[str, object]]
+                  ) -> Dict[str, Dict[str, object]]:
+    """Reassemble cross-process span trees from flat span events.
+
+    Groups by ``trace_id`` and joins spans across processes on
+    ``parent_id`` (the router's attempt span id travels to the worker
+    in the ``traceparent`` header, so the worker's root nests under
+    it).  Returns ``{trace_id: summary}`` where each summary carries:
+
+    * ``roots`` — nested span trees (exactly one for a fully stitched
+      trace; more means a hop's file is missing → ``complete=False``);
+    * ``services`` — every process that contributed spans;
+    * ``duration_s`` / ``status`` — taken from the root span;
+    * ``span_count`` and the flat ``spans`` themselves.
+    """
+    by_trace: Dict[str, List[Dict[str, object]]] = {}
+    for event in events:
+        by_trace.setdefault(str(event["trace_id"]), []).append(event)
+    out: Dict[str, Dict[str, object]] = {}
+    for trace_id, spans in by_trace.items():
+        roots = build_span_tree(spans)
+        starts = [float(s.get("start_ts", 0.0)) for s in spans]
+        ends = [float(s.get("start_ts", 0.0))
+                + float(s.get("duration_s", 0.0)) for s in spans]
+        if len(roots) == 1:
+            root = roots[0]["span"]
+            duration = float(root.get("duration_s", 0.0))
+            status = str(root.get("status", "ok"))
+        else:
+            duration = max(ends) - min(starts) if spans else 0.0
+            status = ("error" if any(s.get("status") == "error"
+                                     for s in spans) else "ok")
+        out[trace_id] = {
+            "trace_id": trace_id,
+            "roots": roots,
+            "complete": len(roots) == 1,
+            "span_count": len(spans),
+            "services": sorted({str(s.get("service", ""))
+                                for s in spans}),
+            "duration_s": duration,
+            "status": status,
+            "spans": spans,
+        }
+    return out
+
+
+def render_trace_tree(roots: List[Dict[str, object]],
+                      max_depth: int = 12) -> str:
+    """ASCII rendering of stitched span trees (debugging / reports)."""
+    lines: List[str] = []
+
+    def emit(node: Dict[str, object], depth: int) -> None:
+        if depth > max_depth:
+            return
+        span_event = node["span"]
+        name = span_event.get("name", "?")
+        service = span_event.get("service", "")
+        duration_ms = 1000.0 * float(span_event.get("duration_s", 0.0))
+        status = span_event.get("status", "ok")
+        suffix = "" if status == "ok" else f"  !{status}"
+        attrs = span_event.get("attrs") or {}
+        attr_text = (" " + " ".join(f"{k}={v}" for k, v in
+                                    sorted(attrs.items()))
+                     if attrs else "")
+        lines.append(f"{'  ' * depth}{name} [{service}] "
+                     f"{duration_ms:9.3f}ms{suffix}{attr_text}")
+        for child in node["children"]:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    if not lines:
+        lines.append("(no spans)")
+    return "\n".join(lines)

@@ -1,0 +1,637 @@
+"""Per-request distributed tracing: trace contexts, span records, hub.
+
+The aggregate span tree in :mod:`~repro.telemetry.tracing` answers
+"where does the wall time go *on average*" — it collapses every request
+into one tree of totals.  This module answers the complementary
+question: "where did the time of *this specific request* go", across
+process boundaries.  It is the substrate for the serving fleet's
+end-to-end tracing (router → worker → micro-batcher → stage graph):
+
+* :class:`TraceContext` — a W3C ``traceparent``-compatible identity
+  (32-hex trace id, 16-hex span id, sampled flag) that the router mints
+  at the front door and forwards to the routed worker, so one request
+  is one trace id end to end, including across failover retries.
+* :class:`SpanRecord` — one *completed* span occurrence with wall-clock
+  start (``time.time``, comparable across processes), duration, status,
+  and free-form attributes.
+* :class:`TraceHub` — the process-global collector: thread-local
+  context stacks (so spans opened on a worker thread parent correctly),
+  pluggable span sinks (JSONL writer, flight recorder) and trace-end
+  sinks (fired when a request-root span closes).
+* :class:`TraceJsonlWriter` — append-only per-process JSONL sink for
+  *sampled* traces; :func:`repro.telemetry.stitch_traces` reassembles
+  the cross-process span trees from several processes' files.
+
+Everything here is stdlib-only and imports nothing from the rest of the
+package — :mod:`~repro.telemetry.tracing` hooks into the hub, not the
+other way around, keeping the telemetry layer cycle-free.
+
+The hub is dormant by default: with ``HUB.enabled`` False a
+:class:`request_span` costs one attribute check (gated <5% on the
+serving hot path by ``scripts/check_trace.sh``), and :meth:`TraceHub.trace`
+still yields a usable context — requests always get an id to echo even
+when nothing is recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "TraceContext", "SpanRecord", "TraceHub", "TraceJsonlWriter",
+    "request_span", "get_hub", "request_tracing_active", "sample_trace",
+    "build_span_tree", "trace_file_for", "new_span_id", "TRACE_EVENT_TYPE",
+]
+
+#: ``type`` discriminator of per-request span events in JSONL files
+#: (distinct from the aggregate tracer's ``"span"`` tree nodes).
+TRACE_EVENT_TYPE = "trace_span"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$")
+
+_perf = time.perf_counter
+
+
+def _rand_hex(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex span/batch id (also used to tag coalesced batches)."""
+    return _rand_hex(8)
+
+
+def sample_trace(trace_id: str, rate: float) -> bool:
+    """Deterministic head sampling: the same trace id always gets the
+    same verdict, so every process that sees the id agrees without
+    coordination."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return int(trace_id[-8:], 16) / float(0xFFFFFFFF) < rate
+
+
+class TraceContext:
+    """W3C trace-context identity of one span position in one trace."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = bool(sampled)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def mint(cls, sampled: bool = True) -> "TraceContext":
+        """A brand-new trace (random 128-bit trace id, 64-bit span id)."""
+        return cls(_rand_hex(16), _rand_hex(8), sampled)
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id (the propagated parent of a hop)."""
+        return TraceContext(self.trace_id, _rand_hex(8), self.sampled)
+
+    # ------------------------------------------------------------------
+    def to_traceparent(self) -> str:
+        """``00-<trace_id>-<span_id>-<01|00>`` (W3C traceparent)."""
+        return (f"00-{self.trace_id}-{self.span_id}-"
+                f"{'01' if self.sampled else '00'}")
+
+    @classmethod
+    def parse(cls, header: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a ``traceparent`` header; ``None`` when absent/invalid.
+
+        Malformed headers are *ignored* rather than rejected — a bad
+        client header must never fail the request, the receiver just
+        mints a fresh trace.  Per the W3C spec, version ``ff`` and
+        all-zero ids are invalid.
+        """
+        if not header:
+            return None
+        match = _TRACEPARENT_RE.match(header.strip().lower())
+        if match is None:
+            return None
+        if match.group("version") == "ff":
+            return None
+        trace_id = match.group("trace_id")
+        span_id = match.group("span_id")
+        if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+            return None
+        sampled = bool(int(match.group("flags"), 16) & 0x01)
+        return cls(trace_id, span_id, sampled)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TraceContext)
+                and self.trace_id == other.trace_id
+                and self.span_id == other.span_id
+                and self.sampled == other.sampled)
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id, self.sampled))
+
+    def __repr__(self) -> str:
+        return (f"TraceContext({self.trace_id[:8]}…/{self.span_id}, "
+                f"sampled={self.sampled})")
+
+
+class SpanRecord:
+    """One completed span occurrence (immutable once emitted)."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "service",
+                 "start_ts", "duration_s", "status", "error", "attrs",
+                 "sampled")
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: str = "", service: str = "",
+                 start_ts: float = 0.0, duration_s: float = 0.0,
+                 status: str = "ok", error: Optional[str] = None,
+                 attrs: Optional[Dict[str, Any]] = None,
+                 sampled: bool = True):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.service = service
+        self.start_ts = float(start_ts)
+        self.duration_s = float(duration_s)
+        self.status = status
+        self.error = error
+        self.attrs = attrs or {}
+        self.sampled = bool(sampled)
+
+    def to_event(self) -> Dict[str, Any]:
+        event: Dict[str, Any] = {
+            "type": TRACE_EVENT_TYPE,
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "service": self.service,
+            "start_ts": self.start_ts,
+            "duration_s": self.duration_s,
+            "status": self.status,
+        }
+        if self.error:
+            event["error"] = self.error
+        if self.attrs:
+            event["attrs"] = self.attrs
+        return event
+
+    @classmethod
+    def from_event(cls, event: Dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=str(event["name"]), trace_id=str(event["trace_id"]),
+            span_id=str(event["span_id"]),
+            parent_id=str(event.get("parent_id", "")),
+            service=str(event.get("service", "")),
+            start_ts=float(event.get("start_ts", 0.0)),
+            duration_s=float(event.get("duration_s", 0.0)),
+            status=str(event.get("status", "ok")),
+            error=event.get("error"), attrs=dict(event.get("attrs") or {}))
+
+    def __repr__(self) -> str:
+        return (f"SpanRecord({self.name}, trace={self.trace_id[:8]}…, "
+                f"{self.duration_s * 1000:.2f}ms, {self.status})")
+
+
+class _OpenSpan:
+    """Handle for a span between :meth:`TraceHub.enter` and ``finish``."""
+
+    __slots__ = ("name", "ctx", "parent_id", "attrs", "start_ts", "t0",
+                 "status", "error")
+
+    def __init__(self, name: str, ctx: TraceContext, parent_id: str,
+                 attrs: Optional[Dict[str, Any]]):
+        self.name = name
+        self.ctx = ctx
+        self.parent_id = parent_id
+        self.attrs = dict(attrs) if attrs else {}
+        self.start_ts = time.time()
+        self.t0 = _perf()
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+
+class _RequestTrace:
+    """Context manager for a request-*root* span (see :meth:`TraceHub.trace`).
+
+    Always yields a usable :attr:`ctx` (so callers can echo the trace id
+    on every response); only records and fires trace-end sinks when the
+    hub is enabled.
+    """
+
+    __slots__ = ("hub", "name", "ctx", "parent", "attrs", "_open",
+                 "status", "error")
+
+    def __init__(self, hub: "TraceHub", name: str,
+                 parent: Optional[TraceContext],
+                 attrs: Optional[Dict[str, Any]]):
+        self.hub = hub
+        self.name = name
+        self.parent = parent
+        self.attrs = dict(attrs) if attrs else {}
+        if parent is not None:
+            self.ctx = parent.child()
+            if not hub.enabled:
+                self.ctx.sampled = False
+        else:
+            ctx = TraceContext.mint()
+            ctx.sampled = (hub.enabled
+                           and sample_trace(ctx.trace_id, hub.sample_rate))
+            self.ctx = ctx
+        self._open: Optional[_OpenSpan] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def set_error(self, error: str) -> None:
+        self.status = "error"
+        self.error = str(error)
+
+    def annotate(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    @property
+    def trace_id(self) -> str:
+        return self.ctx.trace_id
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "_RequestTrace":
+        if self.hub.enabled:
+            handle = _OpenSpan(
+                self.name, self.ctx,
+                self.parent.span_id if self.parent is not None else "",
+                None)
+            self.hub._stack().append(handle)
+            self._open = handle
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        handle = self._open
+        if handle is None:
+            return
+        self._open = None
+        if exc is not None and self.status == "ok":
+            self.set_error(f"{exc_type.__name__}: {exc}")
+        handle.attrs.update(self.attrs)
+        handle.status = self.status
+        handle.error = self.error
+        record = self.hub._close(handle)
+        self.hub._end_trace(record)
+
+
+class TraceHub:
+    """Process-global request-trace collector (one per process).
+
+    Disabled by default; :func:`repro.telemetry.enable_request_tracing`
+    configures the singleton in place (service name, sample rate, sinks)
+    so module-level references cached by hot paths stay valid.
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self.service = "proc"
+        self.sample_rate = 1.0
+        self._local = threading.local()
+        self._sink_lock = threading.Lock()
+        self._span_sinks: List[Callable[[SpanRecord], None]] = []
+        self._trace_sinks: List[Callable[[SpanRecord], None]] = []
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, service: Optional[str] = None,
+                  enabled: Optional[bool] = None,
+                  sample_rate: Optional[float] = None) -> "TraceHub":
+        if service is not None:
+            self.service = str(service)
+        if sample_rate is not None:
+            self.sample_rate = float(sample_rate)
+        if enabled is not None:
+            self.enabled = bool(enabled)
+        return self
+
+    def add_span_sink(self, sink: Callable[[SpanRecord], None]) -> None:
+        with self._sink_lock:
+            self._span_sinks.append(sink)
+
+    def add_trace_sink(self, sink: Callable[[SpanRecord], None]) -> None:
+        """``sink(root_record)`` fires when a request-root span closes."""
+        with self._sink_lock:
+            self._trace_sinks.append(sink)
+
+    def clear_sinks(self) -> None:
+        with self._sink_lock:
+            self._span_sinks = []
+            self._trace_sinks = []
+
+    def reset(self) -> None:
+        """Back to the dormant default state (tests / run boundaries)."""
+        self.enabled = False
+        self.service = "proc"
+        self.sample_rate = 1.0
+        self.clear_sinks()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Context stack
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Any]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional[TraceContext]:
+        """The calling thread's innermost active context (or None)."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        top = stack[-1]
+        return top if isinstance(top, TraceContext) else top.ctx
+
+    def activate(self, ctx: Optional[TraceContext]) -> "_Activation":
+        """Adopt ``ctx`` as the calling thread's current context.
+
+        This is how a batcher worker thread picks up the submitting
+        request's context so engine/stage spans land in its trace.
+        """
+        return _Activation(self, ctx)
+
+    # ------------------------------------------------------------------
+    # Span lifecycle
+    # ------------------------------------------------------------------
+    def trace(self, name: str, parent: Optional[TraceContext] = None,
+              attrs: Optional[Dict[str, Any]] = None) -> _RequestTrace:
+        """Open a request-root span (fires trace-end sinks on close).
+
+        Works with the hub disabled too: the returned handle still
+        carries a minted (unsampled, unrecorded) :class:`TraceContext`,
+        so servers can echo a request id unconditionally.
+        """
+        return _RequestTrace(self, name, parent, attrs)
+
+    def enter(self, name: str,
+              attrs: Optional[Dict[str, Any]] = None) -> Optional[_OpenSpan]:
+        """Open a child span under the thread's current context.
+
+        Returns ``None`` when the hub is disabled or no request is
+        active on this thread — callers skip ``finish`` in that case.
+        """
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        if not stack:
+            return None
+        top = stack[-1]
+        parent_ctx = top if isinstance(top, TraceContext) else top.ctx
+        handle = _OpenSpan(name, parent_ctx.child(), parent_ctx.span_id,
+                           attrs)
+        stack.append(handle)
+        return handle
+
+    def finish(self, handle: Optional[_OpenSpan],
+               exc: Optional[BaseException] = None) -> None:
+        if handle is None:
+            return
+        if exc is not None and handle.status == "ok":
+            handle.status = "error"
+            handle.error = f"{type(exc).__name__}: {exc}"
+        stack = self._stack()
+        # Pop back to the handle even if inner spans leaked.
+        while stack and stack[-1] is not handle:
+            stack.pop()
+        if stack:
+            stack.pop()
+        self._close(handle)
+
+    def _close(self, handle: _OpenSpan) -> SpanRecord:
+        record = SpanRecord(
+            name=handle.name, trace_id=handle.ctx.trace_id,
+            span_id=handle.ctx.span_id, parent_id=handle.parent_id,
+            service=self.service, start_ts=handle.start_ts,
+            duration_s=_perf() - handle.t0, status=handle.status,
+            error=handle.error, attrs=handle.attrs,
+            sampled=handle.ctx.sampled)
+        self.emit(record)
+        return record
+
+    def record_span(self, name: str, parent: TraceContext,
+                    start_ts: float, duration_s: float,
+                    attrs: Optional[Dict[str, Any]] = None,
+                    status: str = "ok",
+                    error: Optional[str] = None) -> Optional[SpanRecord]:
+        """Emit a *pre-timed* span (e.g. queue wait measured elsewhere)."""
+        if not self.enabled:
+            return None
+        ctx = parent.child()
+        record = SpanRecord(
+            name=name, trace_id=ctx.trace_id, span_id=ctx.span_id,
+            parent_id=parent.span_id, service=self.service,
+            start_ts=start_ts, duration_s=duration_s, status=status,
+            error=error, attrs=attrs, sampled=ctx.sampled)
+        self.emit(record)
+        return record
+
+    def event(self, name: str,
+              attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Zero-duration annotation under the thread's current context."""
+        if not self.enabled:
+            return
+        parent = self.current()
+        if parent is None:
+            return
+        self.record_span(name, parent, time.time(), 0.0, attrs)
+
+    def emit(self, record: SpanRecord) -> None:
+        with self._sink_lock:
+            sinks = list(self._span_sinks)
+        for sink in sinks:
+            try:
+                sink(record)
+            except Exception:
+                pass  # a broken sink must never fail the request
+
+    def _end_trace(self, root: SpanRecord) -> None:
+        with self._sink_lock:
+            sinks = list(self._trace_sinks)
+        for sink in sinks:
+            try:
+                sink(root)
+            except Exception:
+                pass
+
+    def __repr__(self) -> str:
+        return (f"TraceHub(service={self.service!r}, "
+                f"enabled={self.enabled}, "
+                f"sample_rate={self.sample_rate})")
+
+
+class _Activation:
+    """Context manager adopting a foreign :class:`TraceContext`."""
+
+    __slots__ = ("hub", "ctx", "_pushed")
+
+    def __init__(self, hub: TraceHub, ctx: Optional[TraceContext]):
+        self.hub = hub
+        self.ctx = ctx
+        self._pushed = False
+
+    def __enter__(self) -> "_Activation":
+        if self.ctx is not None and self.hub.enabled:
+            self.hub._stack().append(self.ctx)
+            self._pushed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._pushed:
+            return
+        self._pushed = False
+        stack = self.hub._stack()
+        while stack and stack[-1] is not self.ctx:
+            stack.pop()
+        if stack:
+            stack.pop()
+
+
+class request_span:
+    """Record a span into the active *request* trace only.
+
+    Unlike :class:`~repro.telemetry.tracing.span` this does **not**
+    touch the aggregate span tree — it is for per-request detail the
+    aggregate accounting intentionally omits (e.g. per-stage spans on
+    the serving path, which the ledger's stage series must not absorb).
+    Near-free when the hub is dormant or no request is active.
+    """
+
+    __slots__ = ("name", "attrs", "_open")
+
+    def __init__(self, name: str, **attrs: Any):
+        self.name = name
+        self.attrs = attrs or None
+        self._open: Optional[_OpenSpan] = None
+
+    def annotate(self, **attrs: Any) -> None:
+        if self._open is not None:
+            self._open.attrs.update(attrs)
+
+    def set_error(self, error: str) -> None:
+        if self._open is not None:
+            self._open.status = "error"
+            self._open.error = str(error)
+
+    @property
+    def ctx(self) -> Optional[TraceContext]:
+        return self._open.ctx if self._open is not None else None
+
+    def __enter__(self) -> "request_span":
+        if HUB.enabled:
+            self._open = HUB.enter(self.name, self.attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        handle = self._open
+        if handle is not None:
+            self._open = None
+            HUB.finish(handle, exc)
+
+
+# ----------------------------------------------------------------------
+# Process-global hub
+# ----------------------------------------------------------------------
+#: The process singleton; configured in place, never swapped, so hot
+#: paths can cache a module-level reference.
+HUB = TraceHub()
+
+
+def get_hub() -> TraceHub:
+    """The process-global request-trace hub."""
+    return HUB
+
+
+def request_tracing_active() -> bool:
+    """Whether the calling thread is inside an enabled request trace."""
+    return HUB.enabled and HUB.current() is not None
+
+
+# ----------------------------------------------------------------------
+# JSONL sink
+# ----------------------------------------------------------------------
+def trace_file_for(trace_dir: str, service: str) -> str:
+    """Per-process trace file path: ``trace-<service>-<pid>.jsonl``."""
+    safe = re.sub(r"[^a-zA-Z0-9_.-]", "-", service) or "proc"
+    return os.path.join(trace_dir, f"trace-{safe}-{os.getpid()}.jsonl")
+
+
+class TraceJsonlWriter:
+    """Span sink appending sampled spans to a JSONL file (thread-safe).
+
+    One line per completed span, flushed immediately — a crashed worker
+    loses at most the span being written, and the stitcher can read the
+    file while the process is still serving.
+    """
+
+    def __init__(self, path: str, only_sampled: bool = True):
+        self.path = path
+        self.only_sampled = bool(only_sampled)
+        self._lock = threading.Lock()
+        self._handle = None
+        self.written = 0
+
+    def __call__(self, record: SpanRecord) -> None:
+        if self.only_sampled and not record.sampled:
+            return
+        line = json.dumps(record.to_event(), sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._handle = open(self.path, "a")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# ----------------------------------------------------------------------
+# Span-tree assembly (shared by the flight recorder and the stitcher)
+# ----------------------------------------------------------------------
+def build_span_tree(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Nest flat span events of ONE trace into parent → children trees.
+
+    Returns the list of root nodes (spans whose parent is absent from
+    ``events`` — usually exactly one per trace), each
+    ``{"span": event, "children": [...]}`` with children ordered by
+    start time.  Spans arriving from different processes join on
+    ``parent_id``; an orphan (its parent's process never flushed)
+    becomes its own root rather than being dropped.
+    """
+    nodes = {event["span_id"]: {"span": event, "children": []}
+             for event in events}
+    roots: List[Dict[str, Any]] = []
+    for node in nodes.values():
+        parent = nodes.get(node["span"].get("parent_id") or "")
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda n: n["span"].get("start_ts", 0.0))
+    roots.sort(key=lambda n: n["span"].get("start_ts", 0.0))
+    return roots

@@ -27,10 +27,13 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
+
+from .reqtrace import HUB as _HUB
 
 __all__ = ["SpanNode", "Tracer", "span", "get_tracer", "set_tracer",
-           "current_span", "add_bytes", "clock"]
+           "current_span", "add_bytes", "clock",
+           "disabled_request_trace_overhead"]
 
 #: Monotonic clock shared by spans and the per-epoch history timings.
 clock = time.perf_counter
@@ -203,23 +206,40 @@ class span:
         attached mid-span via :meth:`add_bytes`).
     tracer:
         Defaults to the process-global tracer.
+    attrs:
+        Free-form attributes for the *request-trace* copy of this span
+        (see below); the aggregate tree ignores them.
 
     A disabled tracer makes ``span`` a near-no-op (one attribute check).
+
+    When the process request-trace hub
+    (:data:`repro.telemetry.reqtrace.HUB`) is enabled and the calling
+    thread is inside an active request, the span is *dual-recorded*: in
+    addition to the aggregate tree it emits a per-request
+    :class:`~repro.telemetry.reqtrace.SpanRecord` under the request's
+    trace id.  With the hub dormant (the default) this costs one extra
+    attribute check.
     """
 
-    __slots__ = ("name", "nbytes", "tracer", "_node", "_t0")
+    __slots__ = ("name", "nbytes", "tracer", "attrs", "_node", "_t0",
+                 "_req")
 
     def __init__(self, name: str, nbytes: int = 0,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 attrs: Optional[Dict[str, Any]] = None):
         self.name = name
         self.nbytes = int(nbytes)
         self.tracer = tracer
+        self.attrs = attrs
         self._node: Optional[SpanNode] = None
+        self._req = None
 
     def add_bytes(self, nbytes: int) -> None:
         self.nbytes += int(nbytes)
 
     def __enter__(self) -> "span":
+        if _HUB.enabled:
+            self._req = _HUB.enter(self.name, self.attrs)
         tracer = self.tracer or _GLOBAL_TRACER
         if not tracer.enabled:
             self._node = None
@@ -234,6 +254,10 @@ class span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        req = self._req
+        if req is not None:
+            self._req = None
+            _HUB.finish(req, exc)
         node = self._node
         if node is None:
             return
@@ -286,3 +310,94 @@ def add_bytes(nbytes: int) -> None:
         return  # no open span
     with tracer._lock:
         node.bytes += int(nbytes)
+
+
+# ----------------------------------------------------------------------
+# Dormant request-tracing overhead probe
+# ----------------------------------------------------------------------
+class _BaselineSpan:
+    """The pre-request-tracing :class:`span` (no hub hook).
+
+    Kept verbatim as the baseline for
+    :func:`disabled_request_trace_overhead`: the measured ratio is
+    exactly the cost the dormant hub check adds to every aggregate span
+    on the serving hot path.
+    """
+
+    __slots__ = ("name", "nbytes", "tracer", "_node", "_t0")
+
+    def __init__(self, name: str, nbytes: int = 0,
+                 tracer: Optional[Tracer] = None):
+        self.name = name
+        self.nbytes = int(nbytes)
+        self.tracer = tracer
+        self._node: Optional[SpanNode] = None
+
+    def __enter__(self) -> "_BaselineSpan":
+        tracer = self.tracer or _GLOBAL_TRACER
+        if not tracer.enabled:
+            self._node = None
+            return self
+        self.tracer = tracer
+        stack = tracer._stack()
+        with tracer._lock:
+            node = stack[-1].child(self.name)
+        stack.append(node)
+        self._node = node
+        self._t0 = clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        node = self._node
+        if node is None:
+            return
+        elapsed = clock() - self._t0
+        tracer = self.tracer
+        stack = tracer._stack()
+        while stack[-1] is not node and len(stack) > 1:
+            stack.pop()
+        if stack[-1] is node:
+            stack.pop()
+        with tracer._lock:
+            node.calls += 1
+            node.total_s += elapsed
+            node.bytes += self.nbytes
+        self._node = None
+
+
+def disabled_request_trace_overhead(iters: int = 20000,
+                                    repeats: int = 5) -> float:
+    """Span cost with the dormant hub hook relative to the baseline span.
+
+    Times ``iters`` empty ``with span(...)`` bodies (aggregate tracer
+    enabled — the realistic serving configuration) against the same
+    loop over the hook-free :class:`_BaselineSpan`, with the
+    request-trace hub forced dormant.  Hooked and baseline repeats are
+    *interleaved* so both sample the same scheduler/frequency noise,
+    and the min over repeats is taken per class — noise can only
+    inflate a timing, never deflate it.  The serving overhead gate
+    (``scripts/check_trace.sh``) requires the best of a few calls to
+    stay under 1.05, mirroring the profiler's
+    :func:`~repro.telemetry.profiler.disabled_overhead_ratio` gate.
+    """
+    tracer = Tracer(enabled=True)
+
+    def time_once(span_cls) -> float:
+        t0 = clock()
+        for _ in range(iters):
+            with span_cls("overhead.probe", tracer=tracer):
+                pass
+        return clock() - t0
+
+    was_enabled = _HUB.enabled
+    _HUB.enabled = False
+    try:
+        time_once(span)  # warmup (bytecode/alloc caches)
+        time_once(_BaselineSpan)
+        hooked = baseline = float("inf")
+        for _ in range(repeats):
+            hooked = min(hooked, time_once(span))
+            baseline = min(baseline, time_once(_BaselineSpan))
+    finally:
+        _HUB.enabled = was_enabled
+    return hooked / baseline if baseline > 0 else 1.0

@@ -213,3 +213,56 @@ class TestReport:
                                profiler=prof)
         assert "hottest autograd ops" in report
         assert "matmul" in report
+
+
+class TestExemplars:
+    """Histogram exemplars survive the Prometheus text round-trip."""
+
+    TRACE_ID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+    def make_exemplar_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        for value in range(1, 100):
+            registry.observe("serve.latency_ms", float(value))
+        # Larger than every current quantile estimate, so the exemplar
+        # attaches to p50/p95/p99 alike.
+        registry.observe("serve.latency_ms", 250.0,
+                         exemplar=self.TRACE_ID)
+        return registry
+
+    def test_snapshot_carries_exemplars(self):
+        entry = self.make_exemplar_registry().snapshot()["serve.latency_ms"]
+        assert entry["exemplars"]["p99"]["trace_id"] == self.TRACE_ID
+        assert entry["exemplars"]["p99"]["value"] == 250.0
+        assert entry["exemplars"]["p99"]["ts"] > 0
+
+    def test_prometheus_text_emits_openmetrics_exemplar(self):
+        text = prometheus_text(self.make_exemplar_registry())
+        quantile_lines = [l for l in text.splitlines()
+                         if 'quantile="0.99"' in l]
+        assert len(quantile_lines) == 1
+        assert f'# {{trace_id="{self.TRACE_ID}"}} 250' in quantile_lines[0]
+
+    def test_parse_round_trips_exemplars(self):
+        registry = self.make_exemplar_registry()
+        parsed = parse_prometheus(prometheus_text(registry))
+        entry = parsed["repro_serve_latency_ms"]
+        assert entry["type"] == "summary"
+        exemplar = entry["exemplars"]['quantile="0.99"']
+        assert exemplar["trace_id"] == self.TRACE_ID
+        assert exemplar["value"] == 250.0
+        assert exemplar["ts"] == pytest.approx(
+            registry.snapshot()["serve.latency_ms"]["exemplars"]["p99"]["ts"],
+            abs=0.01)
+        # Every tracked quantile carries the same linked trace id.
+        for key in ('quantile="0.5"', 'quantile="0.95"'):
+            assert entry["exemplars"][key]["trace_id"] == self.TRACE_ID
+
+    def test_no_exemplar_no_syntax(self):
+        registry = MetricsRegistry()
+        registry.observe_many("plain.hist", [1.0, 2.0, 3.0])
+        text = prometheus_text(registry)
+        assert "trace_id" not in text
+        assert "exemplars" not in registry.snapshot()["plain.hist"]
+        parsed = parse_prometheus(text)
+        assert "exemplars" not in parsed["repro_plain_hist"]

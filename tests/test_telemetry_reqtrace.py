@@ -1,0 +1,356 @@
+"""Request tracing substrate: traceparent, hub, sinks, span trees."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (FlightRecorder, RequestLog, SpanRecord,
+                             TraceContext, TraceJsonlWriter,
+                             build_span_tree, get_hub, new_span_id,
+                             read_trace_jsonl, request_span,
+                             request_tracing_active, sample_trace,
+                             stitch_traces, trace_file_for)
+
+HUB = get_hub()
+
+
+@pytest.fixture
+def hub():
+    """The process singleton, reset to dormant around each test."""
+    HUB.reset()
+    yield HUB
+    HUB.reset()
+
+
+@pytest.fixture
+def enabled_hub(hub):
+    """Hub enabled with a list-capturing span sink and trace sink."""
+    spans, roots = [], []
+    hub.configure(service="test-svc", enabled=True, sample_rate=1.0)
+    hub.add_span_sink(spans.append)
+    hub.add_trace_sink(roots.append)
+    return hub, spans, roots
+
+
+class TestTraceContext:
+    def test_mint_shape(self):
+        ctx = TraceContext.mint()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        int(ctx.trace_id, 16), int(ctx.span_id, 16)
+        assert ctx.sampled
+        assert ctx.trace_id != TraceContext.mint().trace_id
+
+    def test_traceparent_round_trip(self):
+        for sampled in (True, False):
+            ctx = TraceContext.mint(sampled=sampled)
+            header = ctx.to_traceparent()
+            assert header.startswith("00-")
+            assert header.endswith("-01" if sampled else "-00")
+            parsed = TraceContext.parse(header)
+            assert parsed == ctx
+
+    def test_parse_accepts_uppercase_and_whitespace(self):
+        ctx = TraceContext.mint()
+        header = "  " + ctx.to_traceparent().upper() + " "
+        assert TraceContext.parse(header) == ctx
+
+    @pytest.mark.parametrize("header", [
+        None, "", "garbage",
+        "00-abc-def-01",                                    # short ids
+        "00-" + "g" * 32 + "-" + "1" * 16 + "-01",          # non-hex
+        "ff-" + "1" * 32 + "-" + "2" * 16 + "-01",          # version ff
+        "00-" + "0" * 32 + "-" + "2" * 16 + "-01",          # zero trace
+        "00-" + "1" * 32 + "-" + "0" * 16 + "-01",          # zero span
+        "00-" + "1" * 32 + "-" + "2" * 16,                  # no flags
+    ])
+    def test_parse_rejects_invalid(self, header):
+        assert TraceContext.parse(header) is None
+
+    def test_child_keeps_trace_id(self):
+        ctx = TraceContext.mint(sampled=False)
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert child.sampled is False
+
+    def test_new_span_id(self):
+        assert len(new_span_id()) == 16
+        assert new_span_id() != new_span_id()
+
+
+class TestSampling:
+    def test_edges(self):
+        ctx = TraceContext.mint()
+        assert sample_trace(ctx.trace_id, 1.0)
+        assert not sample_trace(ctx.trace_id, 0.0)
+
+    def test_deterministic(self):
+        trace_id = TraceContext.mint().trace_id
+        verdicts = {sample_trace(trace_id, 0.5) for _ in range(10)}
+        assert len(verdicts) == 1
+
+    def test_rate_roughly_proportional(self):
+        ids = [TraceContext.mint().trace_id for _ in range(2000)]
+        hit = sum(sample_trace(t, 0.5) for t in ids)
+        assert 0.4 < hit / len(ids) < 0.6
+
+
+class TestHubLifecycle:
+    def test_dormant_trace_still_yields_context(self, hub):
+        spans = []
+        hub.add_span_sink(spans.append)
+        with hub.trace("req") as trace:
+            assert len(trace.trace_id) == 32
+            assert not trace.ctx.sampled
+            assert hub.current() is None
+        assert spans == []
+        assert not request_tracing_active()
+
+    def test_root_and_children_parentage(self, enabled_hub):
+        hub, spans, roots = enabled_hub
+        with hub.trace("server.request") as trace:
+            assert hub.current() is trace.ctx
+            assert request_tracing_active()
+            with request_span("inner.a"):
+                with request_span("inner.b"):
+                    pass
+        by_name = {s.name: s for s in spans}
+        assert set(by_name) == {"server.request", "inner.a", "inner.b"}
+        root = by_name["server.request"]
+        assert root.parent_id == ""
+        assert by_name["inner.a"].parent_id == root.span_id
+        assert (by_name["inner.b"].parent_id
+                == by_name["inner.a"].span_id)
+        assert {s.trace_id for s in spans} == {trace.trace_id}
+        assert {s.service for s in spans} == {"test-svc"}
+        assert roots and roots[0] is root
+
+    def test_parent_propagation_across_hops(self, enabled_hub):
+        hub, spans, _ = enabled_hub
+        upstream = TraceContext.mint()
+        with hub.trace("server.request", parent=upstream) as trace:
+            assert trace.trace_id == upstream.trace_id
+        root = spans[-1]
+        assert root.parent_id == upstream.span_id
+        assert root.trace_id == upstream.trace_id
+
+    def test_exception_marks_error(self, enabled_hub):
+        hub, spans, roots = enabled_hub
+        with pytest.raises(ValueError):
+            with hub.trace("req"):
+                with request_span("child"):
+                    raise ValueError("boom")
+        child, root = spans
+        assert child.status == "error" and "boom" in child.error
+        assert root.status == "error"
+        assert roots[0].status == "error"
+
+    def test_set_error_and_annotate(self, enabled_hub):
+        hub, spans, _ = enabled_hub
+        with hub.trace("req") as trace:
+            trace.annotate(status=503, path="/predict")
+            trace.set_error("shed")
+        root = spans[-1]
+        assert root.status == "error" and root.error == "shed"
+        assert root.attrs == {"status": 503, "path": "/predict"}
+
+    def test_record_span_pretimed_and_event(self, enabled_hub):
+        hub, spans, _ = enabled_hub
+        with hub.trace("req") as trace:
+            hub.record_span("queue.wait", trace.ctx, start_ts=123.0,
+                            duration_s=0.25, attrs={"batch": "b1"})
+            hub.event("breaker_skip", {"worker": "w0"})
+        by_name = {s.name: s for s in spans}
+        queued = by_name["queue.wait"]
+        assert queued.start_ts == 123.0
+        assert queued.duration_s == 0.25
+        assert queued.parent_id == trace.ctx.span_id
+        assert by_name["breaker_skip"].duration_s == 0.0
+
+    def test_activate_adopts_context_on_other_thread(self, enabled_hub):
+        hub, spans, _ = enabled_hub
+        seen = {}
+
+        def worker(ctx):
+            with hub.activate(ctx):
+                seen["current"] = hub.current()
+                with request_span("batch.dispatch"):
+                    pass
+            seen["after"] = hub.current()
+
+        with hub.trace("req") as trace:
+            thread = threading.Thread(target=worker, args=(trace.ctx,))
+            thread.start()
+            thread.join()
+        assert seen["current"] is trace.ctx
+        assert seen["after"] is None
+        dispatch = next(s for s in spans if s.name == "batch.dispatch")
+        assert dispatch.trace_id == trace.trace_id
+        assert dispatch.parent_id == trace.ctx.span_id
+
+    def test_request_span_without_active_request(self, enabled_hub):
+        hub, spans, _ = enabled_hub
+        with request_span("orphan") as handle:
+            assert handle.ctx is None
+        assert spans == []
+
+    def test_broken_sink_never_fails_the_request(self, enabled_hub):
+        hub, spans, _ = enabled_hub
+
+        def bad_sink(record):
+            raise RuntimeError("sink broke")
+
+        hub.add_span_sink(bad_sink)
+        with hub.trace("req"):
+            pass
+        assert [s.name for s in spans] == ["req"]
+
+
+class TestSpanTree:
+    def events(self):
+        mk = SpanRecord
+        return [
+            mk("root", "t1", "a" * 16, "", start_ts=1.0).to_event(),
+            mk("child", "t1", "b" * 16, "a" * 16,
+               start_ts=3.0).to_event(),
+            mk("first", "t1", "c" * 16, "a" * 16,
+               start_ts=2.0).to_event(),
+        ]
+
+    def test_nesting_and_ordering(self):
+        roots = build_span_tree(self.events())
+        assert len(roots) == 1
+        children = [n["span"]["name"] for n in roots[0]["children"]]
+        assert children == ["first", "child"]
+
+    def test_orphan_becomes_root(self):
+        events = self.events()[1:]  # drop the parent
+        roots = build_span_tree(events)
+        assert {r["span"]["name"] for r in roots} == {"first", "child"}
+
+
+class TestJsonlWriter:
+    def test_writes_only_sampled_and_flushes(self, tmp_path):
+        path = trace_file_for(str(tmp_path), "svc/1")
+        assert "trace-svc-1-" in path
+        writer = TraceJsonlWriter(path)
+        writer(SpanRecord("keep", "t1", "a" * 16, sampled=True))
+        writer(SpanRecord("drop", "t2", "b" * 16, sampled=False))
+        # Readable while the handle is still open (crash forensics).
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        assert [e["name"] for e in lines] == ["keep"]
+        writer.close()
+        assert writer.written == 1
+
+    def test_stitch_two_process_files(self, tmp_path):
+        """Router file + worker file → one complete stitched tree."""
+        trace = TraceContext.mint()
+        attempt = trace.child()
+        router = TraceJsonlWriter(str(tmp_path / "router.jsonl"))
+        router(SpanRecord("router.request", trace.trace_id,
+                          trace.span_id, "", service="router",
+                          start_ts=1.0, duration_s=1.0))
+        router(SpanRecord("router.attempt", trace.trace_id,
+                          attempt.span_id, trace.span_id,
+                          service="router", start_ts=1.1,
+                          duration_s=0.8))
+        worker = TraceJsonlWriter(str(tmp_path / "worker.jsonl"))
+        server_span = attempt.child()
+        worker(SpanRecord("server.request", trace.trace_id,
+                          server_span.span_id, attempt.span_id,
+                          service="worker-1", start_ts=1.2,
+                          duration_s=0.5))
+        router.close()
+        worker.close()
+
+        events = read_trace_jsonl(str(tmp_path / "router.jsonl"),
+                                  str(tmp_path / "worker.jsonl"))
+        stitched = stitch_traces(events)
+        assert set(stitched) == {trace.trace_id}
+        entry = stitched[trace.trace_id]
+        assert entry["complete"]
+        assert entry["span_count"] == 3
+        assert entry["services"] == ["router", "worker-1"]
+        assert entry["duration_s"] == 1.0
+        tree = entry["roots"][0]
+        assert tree["span"]["name"] == "router.request"
+        assert (tree["children"][0]["children"][0]["span"]["name"]
+                == "server.request")
+
+
+class TestFlightRecorder:
+    def feed(self, recorder, name, duration_s, status="ok"):
+        ctx = TraceContext.mint()
+        record = SpanRecord(name, ctx.trace_id, ctx.span_id, "",
+                            duration_s=duration_s, status=status)
+        recorder.on_span(record)
+        recorder.on_trace_end(record)
+        return ctx.trace_id
+
+    def test_retains_slowest_n_with_eviction(self):
+        recorder = FlightRecorder(slowest=2, errors=8)
+        slow = self.feed(recorder, "req", 3.0)
+        slower = self.feed(recorder, "req", 4.0)
+        fast = self.feed(recorder, "req", 0.1)
+        mid = self.feed(recorder, "req", 3.5)  # evicts `slow`
+        retained = set(recorder.retained_ids())
+        assert retained == {slower, mid}
+        assert recorder.lookup(fast) is None
+        found = recorder.lookup(slower)
+        assert found["retained_for"] == ["slow"]
+        assert found["tree"][0]["span"]["name"] == "req"
+
+    def test_errors_always_retained(self):
+        recorder = FlightRecorder(slowest=1, errors=4)
+        self.feed(recorder, "req", 9.0)
+        err = self.feed(recorder, "req", 0.001, status="error")
+        found = recorder.lookup(err)
+        assert found is not None
+        assert found["retained_for"] == ["error"]
+
+    def test_error_ring_is_bounded(self):
+        recorder = FlightRecorder(slowest=1, errors=2)
+        self.feed(recorder, "req", 9.0)  # pins the slowest-1 slot
+        ids = [self.feed(recorder, "req", 0.001, status="error")
+               for _ in range(4)]
+        assert recorder.lookup(ids[0]) is None
+        assert recorder.lookup(ids[-1]) is not None
+
+    def test_hub_integration_via_enable(self, hub, tmp_path):
+        from repro.telemetry import (disable_request_tracing,
+                                     enable_request_tracing,
+                                     get_flight_recorder)
+        enable_request_tracing(service="t", sample_rate=0.0,
+                               trace_dir=str(tmp_path))
+        try:
+            with hub.trace("req") as trace:
+                with request_span("inner"):
+                    pass
+            # Sampling gates the JSONL export, NOT the recorder.
+            found = get_flight_recorder().lookup(trace.trace_id)
+            assert found is not None
+            assert {s["name"] for s in found["spans"]} \
+                == {"req", "inner"}
+            assert not list(tmp_path.glob("trace-*.jsonl")) or all(
+                not path.read_text().strip()
+                for path in tmp_path.glob("trace-*.jsonl"))
+        finally:
+            disable_request_tracing()
+
+
+class TestRequestLog:
+    def test_ring_filters_and_count(self):
+        log = RequestLog(maxlen=4)
+        for i in range(6):
+            log.append(path="/predict", status=200 if i % 2 else 500,
+                       trace_id=f"t{i}", latency_ms=float(i))
+        assert log.appended == 6
+        assert len(log) == 4
+        newest = log.snapshot(limit=1)[0]
+        assert newest["trace_id"] == "t5"
+        errors = log.snapshot(errors_only=True)
+        assert {r["trace_id"] for r in errors} == {"t2", "t4"}
+        assert log.snapshot(trace_id="t3")[0]["status"] == 200
