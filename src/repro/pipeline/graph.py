@@ -131,15 +131,18 @@ class StageGraph:
         stage accounting.
         """
         out = batch
-        if _HUB.enabled and not instrument and _HUB.current() is not None:
-            for stage in self._slice(start, stop):
-                with request_span(stage.span_name):
-                    out = stage(out, ctx)
-            return out
+        traced = _HUB.enabled and _HUB.current() is not None
         for stage in self._slice(start, stop):
             if instrument:
                 with span(stage.span_name,
                           nbytes=int(np.asarray(out).nbytes)):
+                    if traced:
+                        with request_span(stage.span_name):
+                            out = stage(out, ctx)
+                    else:
+                        out = stage(out, ctx)
+            elif traced:
+                with request_span(stage.span_name):
                     out = stage(out, ctx)
             else:
                 out = stage(out, ctx)

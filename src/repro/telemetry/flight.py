@@ -176,6 +176,17 @@ class FlightRecorder:
                 if len(self._slow_heap) > self.slowest:
                     _, _, evicted = heapq.heappop(self._slow_heap)
                     self._drop_reason(evicted, "slow")
+            elif "slow" in prior_reasons:
+                # Multi-segment re-end: the router's (longer) root closed
+                # after the embedded worker's — re-key the heap entry so
+                # eviction order reflects the true root duration.
+                for i, (dur, seq, tid) in enumerate(self._slow_heap):
+                    if tid == root.trace_id:
+                        if root.duration_s > dur:
+                            self._slow_heap[i] = (
+                                root.duration_s, seq, tid)
+                            heapq.heapify(self._slow_heap)
+                        break
 
     def _drop_reason(self, trace_id: str, reason: str) -> None:
         entry = self._retained.get(trace_id)

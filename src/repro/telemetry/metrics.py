@@ -280,9 +280,11 @@ class Histogram:
         }
         for q in self.quantiles:
             out[f"p{q * 100:g}"] = self._estimators[q].value()
-        if self._exemplars:
-            out["exemplars"] = {key: dict(val)
-                                for key, val in self._exemplars.items()}
+        # Snapshot under the lock: observe() may be inserting new
+        # quantile keys while a /metrics scrape iterates.
+        exemplars = self.exemplars()
+        if exemplars:
+            out["exemplars"] = exemplars
         return out
 
     def reset(self) -> None:

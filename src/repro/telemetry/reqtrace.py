@@ -285,8 +285,13 @@ class _RequestTrace:
         handle.attrs.update(self.attrs)
         handle.status = self.status
         handle.error = self.error
-        record = self.hub._close(handle)
-        self.hub._end_trace(record)
+        # finish() pops the handle off the thread-local stack (plus any
+        # leaked inner spans) before closing — without the pop every
+        # traced request would leave a stale _OpenSpan behind on
+        # long-lived server threads.
+        record = self.hub.finish(handle)
+        if record is not None:
+            self.hub._end_trace(record)
 
 
 class TraceHub:
@@ -401,9 +406,9 @@ class TraceHub:
         return handle
 
     def finish(self, handle: Optional[_OpenSpan],
-               exc: Optional[BaseException] = None) -> None:
+               exc: Optional[BaseException] = None) -> Optional[SpanRecord]:
         if handle is None:
-            return
+            return None
         if exc is not None and handle.status == "ok":
             handle.status = "error"
             handle.error = f"{type(exc).__name__}: {exc}"
@@ -413,7 +418,7 @@ class TraceHub:
             stack.pop()
         if stack:
             stack.pop()
-        self._close(handle)
+        return self._close(handle)
 
     def _close(self, handle: _OpenSpan) -> SpanRecord:
         record = SpanRecord(

@@ -360,6 +360,31 @@ class TestStageGraph:
         assert {"stage.scale", "stage.encode",
                 "stage.similarity"} <= names
 
+    def test_run_instrumented_records_request_stage_spans(self, rng):
+        # Per-request stage spans are recorded whenever a request trace
+        # is active, independently of `instrument` (which controls only
+        # the aggregate ledger spans).
+        from repro.telemetry.reqtrace import get_hub
+
+        graph, data = _tiny_graph(rng)
+        hub = get_hub()
+        hub.reset()
+        request_spans = []
+        hub.configure(service="t", enabled=True, sample_rate=1.0)
+        hub.add_span_sink(request_spans.append)
+
+        def run():
+            with hub.trace("req"):
+                graph.run(data, instrument=True)
+
+        try:
+            aggregate = self._traced(run)
+        finally:
+            hub.reset()
+        expected = {"stage.scale", "stage.encode", "stage.similarity"}
+        assert expected <= {s.name for s in request_spans}
+        assert expected <= aggregate
+
 
 class TestTopologyRoundTrip:
     def test_full_round_trip_is_bit_exact(self, rng):

@@ -140,6 +140,16 @@ class TestHistogram:
         assert hist.count == 0
         assert math.isnan(hist.mean)
 
+    def test_summary_exemplars_are_a_locked_copy(self):
+        # summary() must snapshot exemplars under the lock (a /metrics
+        # scrape can race observe() inserting new quantile keys) and
+        # hand out copies the caller may mutate freely.
+        hist = Histogram("h")
+        hist.observe(5.0, exemplar="a" * 32)
+        summary = hist.summary()
+        summary["exemplars"]["p99"]["trace_id"] = "mutated"
+        assert hist.exemplars()["p99"]["trace_id"] == "a" * 32
+
 
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instance(self):

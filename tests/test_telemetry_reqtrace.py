@@ -127,6 +127,22 @@ class TestHubLifecycle:
         assert {s.service for s in spans} == {"test-svc"}
         assert roots and roots[0] is root
 
+    def test_repeated_traces_leave_no_stack_residue(self, enabled_hub):
+        # Regression: the root trace must pop its handle off the
+        # thread-local stack on exit — server threads are long-lived
+        # (keep-alive, persistent router→worker connections) and would
+        # otherwise leak one _OpenSpan per request, with late spans
+        # attaching to dead traces.
+        hub, _, roots = enabled_hub
+        for _ in range(5):
+            with hub.trace("req"):
+                with request_span("stage.x"):
+                    pass
+        assert hub._stack() == []
+        assert hub.current() is None
+        assert not request_tracing_active()
+        assert len(roots) == 5
+
     def test_parent_propagation_across_hops(self, enabled_hub):
         hub, spans, _ = enabled_hub
         upstream = TraceContext.mint()
@@ -302,6 +318,26 @@ class TestFlightRecorder:
         found = recorder.lookup(slower)
         assert found["retained_for"] == ["slow"]
         assert found["tree"][0]["span"]["name"] == "req"
+
+    def feed_segment(self, recorder, trace_id, duration_s):
+        record = SpanRecord("req", trace_id, new_span_id(), "",
+                            duration_s=duration_s)
+        recorder.on_span(record)
+        recorder.on_trace_end(record)
+
+    def test_reended_root_rekeys_slow_heap(self):
+        # Regression: when the router root of a co-located trace closes
+        # after the embedded worker's root with a longer duration, the
+        # slow-heap entry must be re-keyed to the true root duration —
+        # otherwise the trace is evicted as if it were still short.
+        recorder = FlightRecorder(slowest=2, errors=8)
+        merged = "ab" * 16
+        self.feed_segment(recorder, merged, 0.01)  # worker segment
+        other = self.feed(recorder, "req", 0.02)
+        self.feed_segment(recorder, merged, 0.10)  # router root re-ends
+        third = self.feed(recorder, "req", 0.05)   # must evict `other`
+        assert set(recorder.retained_ids()) == {merged, third}
+        assert recorder.lookup(other) is None
 
     def test_errors_always_retained(self):
         recorder = FlightRecorder(slowest=1, errors=4)
