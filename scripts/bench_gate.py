@@ -12,8 +12,13 @@ For each requested pipeline (NSHD / BaselineHD / VanillaHD) this script:
    (:func:`~repro.telemetry.gate_run`: median + MAD bands; fewer than
    ``min_history`` prior runs → bootstrap pass),
 4. appends it to the append-only ledger under ``results/ledger/``, and
-5. writes a per-commit ``BENCH_<shortsha>.json`` trajectory file at the
-   repo root (all records + the gate verdict).
+5. writes a per-commit ``BENCH_<shortsha>.json`` trajectory file under
+   ``results/bench/`` (all records + the gate verdict).
+
+Trajectory files lived at the repo root before results/bench/ existed;
+:func:`find_bench_trajectory` resolves a short SHA against the new
+directory first and falls back to the legacy root-level path, so
+tooling keeps reading pre-relocation commits.
 
 Exit status is nonzero when any gate fails, so CI can block the merge.
 ``--ingest-benchmark-json`` additionally converts a pytest-benchmark
@@ -59,6 +64,20 @@ PIPELINES = ("nshd", "baselinehd", "vanillahd")
 #: Schema version of the BENCH_<shortsha>.json trajectory file.
 BENCH_SCHEMA_VERSION = 1
 
+#: Where per-commit trajectory files live (repo root before PR 8).
+BENCH_DIR = os.path.join(REPO_ROOT, "results", "bench")
+
+
+def find_bench_trajectory(short_sha: str):
+    """Resolve a commit's trajectory file, preferring ``results/bench/``
+    and falling back to the legacy repo-root location; None if absent."""
+    name = f"BENCH_{short_sha}.json"
+    for candidate in (os.path.join(BENCH_DIR, name),
+                      os.path.join(REPO_ROOT, name)):
+        if os.path.exists(candidate):
+            return candidate
+    return None
+
 
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
@@ -81,7 +100,7 @@ def parse_args(argv=None) -> argparse.Namespace:
                         default=os.path.join(REPO_ROOT, "results", "ledger"))
     parser.add_argument("--bench-out", default=None,
                         help="trajectory JSON path (default: "
-                             "BENCH_<shortsha>.json at the repo root)")
+                             "results/bench/BENCH_<shortsha>.json)")
     parser.add_argument("--markdown-out", default=None,
                         help="optional path for the markdown gate report")
     parser.add_argument("--no-gate", action="store_true",
@@ -209,8 +228,10 @@ def main(argv=None) -> int:
 
     git = git_info(REPO_ROOT)
     short_sha = git.get("short_sha") or "unknown"
-    bench_out = args.bench_out or os.path.join(
-        REPO_ROOT, f"BENCH_{short_sha}.json")
+    bench_out = args.bench_out
+    if bench_out is None:
+        os.makedirs(BENCH_DIR, exist_ok=True)
+        bench_out = os.path.join(BENCH_DIR, f"BENCH_{short_sha}.json")
     ledger = RunLedger(args.ledger_dir)
 
     # Shared dataset + (optionally trained) teacher model for the runs.

@@ -1,0 +1,143 @@
+"""Lint: metric names in src/repro/ ↔ docs/OBSERVABILITY.md reference.
+
+Dashboards, alert rules, and runbooks are written against metric
+*names*; a rename in code silently breaks all of them. This lint keeps
+the "Metric name reference" appendix of ``docs/OBSERVABILITY.md``
+authoritative by checking **both directions**:
+
+* every metric registered in ``src/repro/`` (a string literal passed to
+  ``inc`` / ``set_gauge`` / ``observe`` / ``observe_many`` /
+  ``counter`` / ``gauge`` / ``histogram``, or assigned to a
+  ``*_metric`` attribute) must match a documented name;
+* every documented name must match a registration site, so the doc
+  cannot accumulate ghosts.
+
+Runtime-substituted segments are wildcards on both sides: an f-string
+``{...}`` placeholder in code and a ``<...>`` placeholder in the doc
+each match exactly one dotted segment (``alert.state.{rule.name}`` ↔
+``alert.state.<rule>``). A literal ending in ``.`` (string
+concatenation) gets a trailing wildcard.
+
+Wired into ``scripts/run_all.sh``; exits nonzero listing the drift.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src", "repro")
+DOC_PATH = os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md")
+DOC_SECTION = "## Metric name reference"
+
+#: The registry implementation itself registers nothing by name.
+SKIP_FILES = {os.path.join("telemetry", "metrics.py")}
+
+#: String literal reaching the registry: a call to one of its methods,
+#: or an f-string stored on a ``*_metric`` attribute for later inc().
+CODE_PATTERN = re.compile(
+    r'(?:\.(?:inc|set_gauge|observe|observe_many|counter|gauge|'
+    r'histogram)\(\s*|_metric\s*=\s*)(f?)"([^"]+)"')
+
+#: A normalized metric name: dotted lowercase segments, ``*`` wild.
+NAME_SHAPE = re.compile(r"^[a-z0-9_*-]+(\.[a-z0-9_*-]+)+$")
+
+
+def normalize_code(raw: str, is_fstring: bool) -> str:
+    name = re.sub(r"\{[^}]*\}", "*", raw) if is_fstring else raw
+    if name.endswith("."):
+        name += "*"
+    return name
+
+
+def normalize_doc(raw: str) -> str:
+    return re.sub(r"<[^>]*>", "*", raw)
+
+
+def collect_code():
+    """→ [(normalized name, "path:line")] for every registration."""
+    found = []
+    for root, dirs, files in os.walk(SRC_DIR):
+        dirs[:] = [d for d in dirs if d != "__pycache__"]
+        for fname in sorted(files):
+            if not fname.endswith(".py"):
+                continue
+            path = os.path.join(root, fname)
+            rel = os.path.relpath(path, SRC_DIR)
+            if rel in SKIP_FILES:
+                continue
+            with open(path) as handle:
+                text = handle.read()
+            for match in CODE_PATTERN.finditer(text):
+                name = normalize_code(match.group(2),
+                                      bool(match.group(1)))
+                if not NAME_SHAPE.match(name):
+                    continue
+                line = text.count("\n", 0, match.start()) + 1
+                found.append((name, f"{os.path.relpath(path, REPO_ROOT)}"
+                                    f":{line}"))
+    return found
+
+
+def collect_doc():
+    """→ [normalized name] from the reference appendix's backticks."""
+    with open(DOC_PATH) as handle:
+        text = handle.read()
+    start = text.find(DOC_SECTION)
+    if start < 0:
+        raise SystemExit(f"{DOC_PATH} has no '{DOC_SECTION}' section")
+    section = text[start + len(DOC_SECTION):]
+    cut = section.find("\n## ")
+    if cut >= 0:
+        section = section[:cut]
+    names = []
+    for raw in re.findall(r"`([^`]+)`", section):
+        name = normalize_doc(raw)
+        if NAME_SHAPE.match(name):
+            names.append(name)
+    return names
+
+
+def matches(a: str, b: str) -> bool:
+    """Token-wise match; ``*`` on either side matches one segment."""
+    left, right = a.split("."), b.split(".")
+    if len(left) != len(right):
+        return False
+    return all(x == "*" or y == "*" or x == y
+               for x, y in zip(left, right))
+
+
+def main() -> int:
+    code = collect_code()
+    doc = collect_doc()
+    failures = []
+
+    undocumented = [(name, where) for name, where in code
+                    if not any(matches(name, d) for d in doc)]
+    for name, where in sorted(set(undocumented)):
+        failures.append(f"registered but undocumented: {name} "
+                        f"({where}) — add it to docs/OBSERVABILITY.md "
+                        f"'{DOC_SECTION}'")
+
+    code_names = {name for name, _ in code}
+    ghosts = [d for d in doc
+              if not any(matches(c, d) for c in code_names)]
+    for name in sorted(set(ghosts)):
+        failures.append(f"documented but never registered: {name} — "
+                        f"remove it from docs/OBSERVABILITY.md or "
+                        f"restore the metric")
+
+    print(f"checked {len(set(code_names))} registered metric pattern(s) "
+          f"against {len(set(doc))} documented name(s)")
+    if failures:
+        print(f"\nMETRIC NAME LINT FAILED "
+              f"({len(failures)} finding(s)):", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("metric names and docs agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

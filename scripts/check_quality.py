@@ -1,0 +1,356 @@
+"""Model-quality gate: injected drift must fire alerts; clean traffic
+must stay quiet; the monitors must be effectively free.
+
+Boots a real :class:`~repro.serve.server.ModelServer` through the serve
+CLI's ``build_server`` path — a bundle carrying a ``quality_baseline``
+section plus a TOML config declaring two alert rules — then drives the
+load generator through four phases:
+
+1. **clean**: baseline-distributed traffic fills the drift window; the
+   gate asserts ``/driftz`` stays under the PSI threshold and
+   ``/alertz`` reports nothing firing;
+2. **covariate shift**: the generator switches to ``mean+3, 2σ``
+   features; the ``feature-drift`` rule
+   (``quality.feature.psi_max > 0.25``) must reach ``firing`` within a
+   bounded number of requests (detection latency is printed and
+   ledgered);
+3. **label skew**: a fresh server is flooded with near-duplicates of a
+   single row, so every prediction lands in one class; the
+   ``prediction-skew`` rule (``quality.prediction.psi > 1.0``) must
+   fire within the budget;
+4. **overhead**: interleaved HTTP P99 of a monitors-on vs monitors-off
+   server over the same bundle; the best-of-3 ratio must stay < 5%.
+
+The phase outcomes and the P99 pair are captured as a
+``kind="quality"`` :class:`~repro.telemetry.ledger.RunRecord`, gated
+against the rolling ledger baseline (median + MAD, same detector as
+``bench_gate``), and appended to ``results/ledger/``.
+
+Wired into ``scripts/run_all.sh`` via ``scripts/check_quality.sh``.
+"""
+
+import argparse
+import http.client
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from serve_bench import synthetic_bundle  # noqa: E402
+
+from repro import telemetry  # noqa: E402
+from repro.serve import InferenceEngine  # noqa: E402
+from repro.serve.__main__ import _parse_args, build_server  # noqa: E402
+from repro.telemetry import regress  # noqa: E402
+from repro.telemetry.ledger import RunLedger, RunRecord  # noqa: E402
+from repro.telemetry.quality import QualityBaseline  # noqa: E402
+from repro.utils.rng import fresh_rng  # noqa: E402
+
+ALERTS_TOML = """\
+[engine]
+build_extractor = false
+quality_window = 256
+
+[alerts]
+interval_s = 0.1
+
+[[alerts.rules]]
+name = "feature-drift"
+metric = "quality.feature.psi_max"
+op = ">"
+threshold = 0.25
+severity = "page"
+description = "windowed PSI vs the training baseline"
+
+[[alerts.rules]]
+name = "prediction-skew"
+metric = "quality.prediction.psi"
+op = ">"
+threshold = 1.0
+severity = "page"
+description = "prediction distribution vs training class priors"
+"""
+
+QUIET_TOML = """\
+[engine]
+build_extractor = false
+quality = false
+"""
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="gate the streaming drift monitors and the alert "
+                    "rules engine on a live serving path")
+    parser.add_argument("--dim", type=int, default=512)
+    parser.add_argument("--features", type=int, default=32)
+    parser.add_argument("--classes", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--batch", type=int, default=64,
+                        help="rows per /predict request (one drift-"
+                             "window refill per request)")
+    parser.add_argument("--budget", type=int, default=8,
+                        help="max faulty requests before the alert "
+                             "must be firing")
+    parser.add_argument("--baseline-rows", type=int, default=2048)
+    parser.add_argument("--overhead-requests", type=int, default=150,
+                        help="requests per overhead measurement run")
+    parser.add_argument("--overhead-limit", type=float, default=1.05,
+                        help="quality-on / quality-off P99 ceiling "
+                             "(best of 3 interleaved runs)")
+    parser.add_argument("--skip-overhead", action="store_true",
+                        help="skip the P99 comparison (loaded CI hosts)")
+    parser.add_argument("--ledger-dir",
+                        default=os.path.join(REPO_ROOT, "results",
+                                             "ledger"))
+    parser.add_argument("--no-append", action="store_true",
+                        help="gate only; do not grow the ledger")
+    return parser.parse_args(argv)
+
+
+def http_json(host, port, method, path, payload=None, timeout=15.0):
+    """One request → (status, parsed json body)."""
+    conn = http.client.HTTPConnection(host, int(port), timeout=timeout)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body, headers)
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            return response.status, json.loads(raw.decode("utf-8"))
+        except ValueError:
+            return response.status, {}
+    finally:
+        conn.close()
+
+
+def baselined_bundle_path(workdir, args) -> str:
+    """Synthetic bundle + a quality baseline computed through its own
+    frozen graph (the same closure ``from_pipeline`` captures)."""
+    bundle = synthetic_bundle(args.dim, args.features, args.classes,
+                              args.seed)
+    engine = InferenceEngine(bundle, build_extractor=False)
+    rng = fresh_rng((args.seed, "check-quality-baseline"))
+    train = rng.standard_normal((args.baseline_rows, args.features))
+    sims = np.asarray(engine.similarities(engine.encode_features(train)))
+    bundle.info["quality_baseline"] = QualityBaseline.from_training(
+        train, labels=np.argmax(sims, axis=1),
+        num_classes=args.classes, similarities=sims).to_dict()
+    path = os.path.join(workdir, "bundle.npz")
+    bundle.save(path)
+    return path
+
+
+def boot(bundle_path, config_text, workdir, tag):
+    """Serve CLI path: TOML config → built + started ModelServer."""
+    config_path = os.path.join(workdir, f"serve-{tag}.toml")
+    with open(config_path, "w") as handle:
+        handle.write(config_text)
+    server = build_server(_parse_args(
+        [bundle_path, "--config", config_path, "--port", "0"]))
+    server.start()
+    return server
+
+
+def drive(server, rows, batch):
+    """POST ``rows`` in ``batch``-row /predict requests; count them."""
+    host, port = server.address
+    sent = 0
+    for start in range(0, len(rows), batch):
+        chunk = rows[start:start + batch]
+        status, _ = http_json(host, port, "POST", "/predict",
+                              {"features": chunk.tolist()})
+        if status != 200:
+            raise SystemExit(f"/predict answered {status}")
+        sent += 1
+    return sent
+
+
+def firing(server):
+    host, port = server.address
+    status, payload = http_json(host, port, "GET", "/alertz")
+    if status != 200:
+        raise SystemExit(f"/alertz answered {status}")
+    return payload.get("firing", [])
+
+
+def requests_to_firing(server, make_batch, alert, budget, batch):
+    """Faulty batches until ``alert`` fires; None if budget exhausted."""
+    for sent in range(1, budget + 1):
+        drive(server, make_batch(), batch)
+        if alert in firing(server):
+            return sent
+    return None
+
+
+def measure_p99(server, rows, batch):
+    """Per-request wall times over /predict → P99 seconds."""
+    host, port = server.address
+    times = []
+    for start in range(0, len(rows), batch):
+        chunk = rows[start:start + batch].tolist()
+        t0 = time.perf_counter()
+        status, _ = http_json(host, port, "POST", "/predict",
+                              {"features": chunk})
+        times.append(time.perf_counter() - t0)
+        if status != 200:
+            raise SystemExit(f"/predict answered {status}")
+    return float(np.percentile(times, 99))
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    failures = []
+
+    def check(condition, label):
+        print(("PASS" if condition else "FAIL") + f"  {label}")
+        if not condition:
+            failures.append(label)
+
+    workdir = tempfile.mkdtemp(prefix="check_quality_")
+    t_start = time.time()
+    quality = {"scenarios": {}, "overhead": None}
+    try:
+        bundle_path = baselined_bundle_path(workdir, args)
+        rng = fresh_rng((args.seed, "check-quality-load"))
+        clean = lambda n: rng.standard_normal((n, args.features))  # noqa: E731
+
+        # -- phase 1: clean traffic stays quiet ----------------------
+        telemetry.get_registry().reset()
+        server = boot(bundle_path, ALERTS_TOML, workdir, "drift")
+        host, port = server.address
+        print(f"quality-monitored worker up at {server.url}")
+        drive(server, clean(4 * args.batch), args.batch)
+        status, drift = http_json(host, port, "GET", "/driftz")
+        check(status == 200 and drift.get("enabled"),
+              "/driftz live with the bundle's training baseline")
+        psi = drift.get("feature", {}).get("psi_max", float("inf"))
+        check(psi < 0.25,
+              f"clean traffic under the PSI threshold "
+              f"(psi_max={psi:.3f} < 0.25)")
+        check(firing(server) == [],
+              "no alerts firing on clean traffic")
+        quality["scenarios"]["clean"] = {"psi_max": psi, "firing": []}
+
+        # -- phase 2: covariate shift → feature-drift fires ----------
+        shifted = lambda: 3.0 + 2.0 * clean(args.batch)  # noqa: E731
+        detect = requests_to_firing(server, shifted, "feature-drift",
+                                    args.budget, args.batch)
+        check(detect is not None,
+              f"covariate shift drives feature-drift to firing within "
+              f"{args.budget} requests (took {detect})")
+        status, drift = http_json(host, port, "GET", "/driftz")
+        top = drift.get("feature", {}).get("top", [])
+        check(bool(top), f"/driftz names the drifting features "
+                         f"(top={top[:3]})")
+        quality["scenarios"]["covariate_shift"] = {
+            "requests_to_firing": detect,
+            "rows_per_request": args.batch,
+            "psi_max": drift.get("feature", {}).get("psi_max")}
+        server.stop()
+
+        # -- phase 3: label skew → prediction-skew fires -------------
+        telemetry.get_registry().reset()
+        server = boot(bundle_path, ALERTS_TOML, workdir, "skew")
+        host, port = server.address
+        pinned = clean(1)[0]  # near-duplicates → one predicted class
+        skewed = lambda: pinned + 0.01 * clean(args.batch)  # noqa: E731
+        detect = requests_to_firing(server, skewed, "prediction-skew",
+                                    args.budget, args.batch)
+        check(detect is not None,
+              f"label skew drives prediction-skew to firing within "
+              f"{args.budget} requests (took {detect})")
+        status, alerts = http_json(host, port, "GET", "/alertz")
+        states = {row["rule"]["name"]: row["state"]
+                  for row in alerts.get("rules", [])}
+        check(states.get("prediction-skew") == "firing",
+              f"/alertz reports the state machine (states={states})")
+        quality["scenarios"]["label_skew"] = {
+            "requests_to_firing": detect,
+            "rows_per_request": args.batch}
+        server.stop()
+        server = None
+
+        # -- phase 4: monitors must be effectively free --------------
+        p99_on = p99_off = ratio = None
+        if not args.skip_overhead:
+            telemetry.get_registry().reset()
+            on = boot(bundle_path, ALERTS_TOML, workdir, "on")
+            off = boot(bundle_path, QUIET_TOML, workdir, "off")
+            try:
+                rows = clean(args.overhead_requests)
+                measure_p99(on, rows, 1)   # warm both paths
+                measure_p99(off, rows, 1)
+                ratios = []
+                for _ in range(3):
+                    a = measure_p99(on, rows, 1)
+                    b = measure_p99(off, rows, 1)
+                    ratios.append((a / b, a, b))
+                ratios.sort()
+                ratio, p99_on, p99_off = ratios[0]
+                check(ratio < args.overhead_limit,
+                      f"quality monitors add <{args.overhead_limit:.2f}x"
+                      f" to serve P99 ({ratio:.4f}x; on="
+                      f"{p99_on * 1e3:.2f}ms off={p99_off * 1e3:.2f}ms;"
+                      f" runs: "
+                      f"{', '.join(f'{r[0]:.4f}' for r in ratios)})")
+            finally:
+                on.stop()
+                off.stop()
+            quality["overhead"] = {"p99_on_s": p99_on,
+                                   "p99_off_s": p99_off,
+                                   "ratio": ratio,
+                                   "limit": args.overhead_limit}
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    # -- ledger: trend-gate the overhead pair like bench_gate --------
+    config = {"gate": "check_quality", "dim": args.dim,
+              "features": args.features, "classes": args.classes,
+              "batch": args.batch, "budget": args.budget,
+              "overhead_requests": args.overhead_requests,
+              "seed": args.seed}
+    stage_times = {}
+    if quality["overhead"]:
+        stage_times = {"serve_p99_quality_on": p99_on,
+                       "serve_p99_quality_off": p99_off}
+    record = RunRecord(pipeline="serve-quality", kind="quality",
+                       config=config, seed=args.seed,
+                       wall_s=time.time() - t_start,
+                       stage_times=stage_times,
+                       extra={"quality": quality})
+    ledger = RunLedger(args.ledger_dir)
+    report = regress.gate_run(ledger, record)
+    print()
+    print(report.to_markdown())
+    if not report.passed:
+        failures.append("ledger median+MAD gate")
+    if not args.no_append:
+        ledger.append(record)
+        print(f"\nledgered kind=quality run under {ledger.path}")
+
+    if failures:
+        print(f"\nQUALITY GATE FAILED: {len(failures)} assertion(s):",
+              file=sys.stderr)
+        for label in failures:
+            print(f"  - {label}", file=sys.stderr)
+        return 1
+    print("\nquality gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,9 @@
 #   * with >= 3 comparable runs in the ledger, a stage time, accuracy or
 #     wall-clock outside the rolling median+MAD tolerance band FAILS
 #     (nonzero exit), printing the markdown comparison report;
-#   * a BENCH_<shortsha>.json trajectory file is (re)written at the repo
-#     root and a ledger entry is appended for this commit.
+#   * a BENCH_<shortsha>.json trajectory file is (re)written under
+#     results/bench/ (legacy root-level files from older commits are
+#     still readable) and a ledger entry is appended for this commit.
 # A self-check then verifies the gate's teeth: with an established
 # baseline, a synthetic 3x slowdown injected into one stage must FAIL.
 set -euo pipefail

@@ -31,4 +31,12 @@ bash scripts/check_fleet.sh
 # -> batcher -> stage, incl. failover), /tracez + /requestz, and the
 # <5% tracing-disabled overhead gate (see scripts/check_trace.sh).
 bash scripts/check_trace.sh
+# Model quality: streaming drift monitors + alert rules engine on the
+# serving path — injected covariate shift / label skew must fire their
+# alerts within budget, clean traffic stays quiet, and monitors add
+# <5% to serve P99 (see scripts/check_quality.sh).
+bash scripts/check_quality.sh
+# Docs/dashboards lint: every metric name registered in src/repro/ must
+# be documented in docs/OBSERVABILITY.md (and vice versa).
+python scripts/check_metric_names.py
 echo "Results tables are under results/, run ledger under results/ledger/"

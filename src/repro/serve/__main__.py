@@ -23,8 +23,26 @@ MicroBatcher / LoadShedder / engine knobs::
     cache_size = 256
     use_packed = true        # omit for auto-selection
     build_extractor = true
+    quality = true           # omit: auto-on when the bundle has a baseline
+    quality_window = 512
 
-Flat top-level keys (``port = 8000``) are accepted too.
+    [alerts]
+    interval_s = 1.0         # background evaluation period
+
+    [[alerts.rules]]
+    name = "feature-drift"
+    metric = "quality.feature.psi_max"
+    op = ">"
+    threshold = 0.25
+    for_s = 2.0
+    severity = "page"
+
+Flat top-level keys (``port = 8000``) are accepted too.  Alert rules
+(threshold / absence / burn-rate predicates over the metrics registry —
+see :mod:`repro.telemetry.alerts`) are evaluated on a background thread
+and exposed at ``GET /alertz`` plus ``alert.state.*`` gauges; in fleet
+mode the ``--config`` file is forwarded to every worker, so the same
+rules run fleet-wide.
 
 ``--fleet N`` switches to the fault-tolerant multi-process mode: a
 :class:`~repro.serve.fleet.Supervisor` spawns N worker processes (each
@@ -41,7 +59,8 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from ..telemetry import enable_request_tracing, tracing_env_options
+from ..telemetry import (enable_request_tracing, load_alert_rules,
+                         tracing_env_options)
 from .bundle import BundleError, ModelBundle
 from .engine import EngineSelfCheckError, InferenceEngine
 from .fleet import FleetError, Supervisor
@@ -55,15 +74,21 @@ __all__ = ["main", "build_server", "build_fleet", "load_config",
 _SERVER_KEYS = ("host", "port")
 _BATCHER_KEYS = ("max_batch_size", "max_latency_ms", "workers",
                  "high_watermark", "timeout_s")
-_ENGINE_KEYS = ("cache_size", "use_packed", "build_extractor", "selfcheck")
+_ENGINE_KEYS = ("cache_size", "use_packed", "build_extractor", "selfcheck",
+                "quality", "quality_window")
+_ALERT_KEYS = ("interval_s", "rules")
 
 
 def load_config(path: str) -> Dict[str, Any]:
     """Read a TOML config file into a flat ``{key: value}`` dict.
 
-    Accepts both sectioned (``[server]`` / ``[batcher]`` / ``[engine]``)
-    and flat layouts; unknown keys raise so typos fail loudly instead of
-    silently serving with defaults.
+    Accepts both sectioned (``[server]`` / ``[batcher]`` / ``[engine]``
+    / ``[alerts]``) and flat layouts; unknown keys raise so typos fail
+    loudly instead of silently serving with defaults.  The ``[alerts]``
+    section is parsed through
+    :func:`~repro.telemetry.alerts.load_alert_rules` (so a malformed
+    rule also fails at startup) and lands as ``alert_rules`` /
+    ``alert_interval_s``.
     """
     import tomllib
     with open(path, "rb") as handle:
@@ -71,11 +96,24 @@ def load_config(path: str) -> Dict[str, Any]:
     flat: Dict[str, Any] = {}
     known = set(_SERVER_KEYS) | set(_BATCHER_KEYS) | set(_ENGINE_KEYS)
     for key, value in raw.items():
+        if key == "alerts":
+            if not isinstance(value, dict):
+                raise ValueError(f"[alerts] must be a table in {path!r}")
+            for sub in value:
+                if sub not in _ALERT_KEYS:
+                    raise ValueError(
+                        f"unknown config key alerts.{sub} in {path!r}")
+            flat["alert_rules"] = load_alert_rules(
+                value.get("rules", []))
+            if "interval_s" in value:
+                flat["alert_interval_s"] = float(value["interval_s"])
+            continue
         if isinstance(value, dict):
             if key not in ("server", "batcher", "engine"):
                 raise ValueError(
                     f"unknown config section [{key}] in {path!r}; "
-                    "expected [server], [batcher], or [engine]")
+                    "expected [server], [batcher], [engine], or "
+                    "[alerts]")
             for sub, subvalue in value.items():
                 if sub not in known:
                     raise ValueError(
@@ -181,6 +219,10 @@ def build_server(args: argparse.Namespace) -> ModelServer:
         engine_options["build_extractor"] = bool(config["build_extractor"])
     if "selfcheck" in config:
         engine_options["selfcheck"] = bool(config["selfcheck"])
+    if "quality" in config:
+        engine_options["quality"] = bool(config["quality"])
+    if "quality_window" in config:
+        engine_options["quality_window"] = int(config["quality_window"])
 
     ModelBundle.verify(args.bundle)
     engine = InferenceEngine.from_path(args.bundle, **engine_options)
@@ -199,6 +241,8 @@ def build_server(args: argparse.Namespace) -> ModelServer:
         bundle_path=args.bundle,
         engine_options=engine_options,
         chaos=True if getattr(args, "chaos", False) else None,
+        alert_rules=config.get("alert_rules"),
+        alert_interval_s=float(config.get("alert_interval_s", 1.0)),
     )
 
 
@@ -252,6 +296,8 @@ def build_fleet(args: argparse.Namespace) -> Router:
         port=int(args.port if args.port is not None
                  else config.get("port", 8000)),
         own_fleet=True,
+        alert_rules=config.get("alert_rules"),
+        alert_interval_s=float(config.get("alert_interval_s", 1.0)),
     )
     supervisor.start(wait_ready=False)
     try:

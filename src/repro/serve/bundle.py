@@ -77,7 +77,11 @@ class ModelBundle:
     @classmethod
     def from_pipeline(cls, pipeline, config: Optional[Dict[str, Any]] = None,
                       binarize: bool = False,
-                      quantize_bits: Optional[int] = None) -> "ModelBundle":
+                      quantize_bits: Optional[int] = None,
+                      baseline_features: Optional[np.ndarray] = None,
+                      baseline_labels: Optional[np.ndarray] = None,
+                      baseline_sample: int = 2048,
+                      baseline_bins: int = 10) -> "ModelBundle":
         """Capture a trained pipeline's inference closure.
 
         Parameters
@@ -96,6 +100,22 @@ class ModelBundle:
             When set (e.g. 8), store the manifold FC weight — and the
             class matrix, unless ``binarize`` already made it 1-bit — as
             symmetric integer payloads (``*.q`` / ``*.scale`` arrays).
+        baseline_features:
+            Training features at the *scale-stage input* (the same
+            representation :meth:`InferenceEngine.predict_features`
+            receives).  When given, a :class:`~repro.telemetry.quality.
+            QualityBaseline` — per-feature mean/std/decile sketches,
+            class priors, train margin/confidence quantiles — is
+            captured into ``info["quality_baseline"]`` so the serving
+            engine can run streaming drift monitors against it.
+        baseline_labels:
+            Training labels aligned with ``baseline_features`` (class
+            priors).  Defaults to the pipeline's own predictions.
+        baseline_sample:
+            Deterministic (evenly spaced) subsample cap applied to the
+            baseline rows; the sketches only need O(1k) rows.
+        baseline_bins:
+            Number of PSI bins in the per-feature sketches.
         """
         scaler = getattr(pipeline, "scaler", None)
         if scaler is None or scaler.mean is None:
@@ -166,8 +186,52 @@ class ModelBundle:
         else:
             arrays["classes"] = classes
 
+        # -- training quality baseline (drift-monitor reference) -------
+        if baseline_features is not None:
+            info["quality_baseline"] = cls._capture_baseline(
+                graph, pipeline, baseline_features, baseline_labels,
+                sample=baseline_sample, n_bins=baseline_bins)
+
         info["arrays"] = sorted(arrays)
         return cls(arrays, info)
+
+    @staticmethod
+    def _capture_baseline(graph: StageGraph, pipeline,
+                          features: np.ndarray,
+                          labels: Optional[np.ndarray],
+                          sample: int = 2048,
+                          n_bins: int = 10) -> Dict[str, Any]:
+        """Sketch the training distribution for streaming drift checks.
+
+        Runs the *pre-transform* stage slice (scale → encode) plus the
+        classify stage's raw similarities on a deterministic subsample,
+        so the stored margin/confidence quantiles reflect exactly the
+        closure the bundle ships — not the live training objects.
+        """
+        from ..telemetry.quality import QualityBaseline
+
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if labels is not None:
+            labels = np.asarray(labels).reshape(-1)
+            if labels.shape[0] != features.shape[0]:
+                raise BundleError(
+                    f"baseline_labels has {labels.shape[0]} rows but "
+                    f"baseline_features has {features.shape[0]}")
+        if sample and features.shape[0] > sample:
+            # Evenly spaced subsample: deterministic, order-preserving,
+            # and unbiased for shuffled training sets.
+            idx = np.linspace(0, features.shape[0] - 1, int(sample))
+            idx = np.unique(idx.astype(np.intp))
+            features = features[idx]
+            if labels is not None:
+                labels = labels[idx]
+        encoded = graph.run(features, start="scale", stop="classify")
+        sims = graph.stage("classify").similarities(encoded)
+        baseline = QualityBaseline.from_training(
+            features, labels=labels,
+            num_classes=int(pipeline.num_classes),
+            similarities=np.asarray(sims), n_bins=n_bins)
+        return baseline.to_dict()
 
     # ------------------------------------------------------------------
     # Serialization

@@ -38,6 +38,7 @@ import numpy as np
 from ..hd.similarity import classify
 from ..pipeline import PackedClassifyStage
 from ..telemetry import get_registry, request_span, span
+from ..telemetry.quality import DriftMonitor, QualityBaseline
 from ..utils.rng import fresh_rng
 from .bundle import BundleError, ModelBundle
 
@@ -106,13 +107,24 @@ class InferenceEngine:
     selfcheck:
         Run :meth:`selfcheck` at construction when the packed path is
         active (cheap: a handful of random probes).
+    quality:
+        Force (True) or forbid (False) the streaming
+        :class:`~repro.telemetry.quality.DriftMonitor`; default ``None``
+        auto-enables it when the bundle manifest carries a
+        ``quality_baseline`` section (``from_pipeline(...,
+        baseline_features=...)`` export).  Forcing it on a bundle
+        without a baseline raises :class:`BundleError`.
+    quality_window:
+        Rolling-window size (rows) for the drift monitor.
     """
 
     def __init__(self, bundle: ModelBundle,
                  use_packed: Optional[bool] = None,
                  cache_size: int = 256,
                  build_extractor: bool = True,
-                 selfcheck: bool = True):
+                 selfcheck: bool = True,
+                 quality: Optional[bool] = None,
+                 quality_window: int = 512):
         bundle.validate()
         self.bundle = bundle
         info = bundle.info
@@ -148,6 +160,22 @@ class InferenceEngine:
             self._classify) if self.use_packed else None)
 
         self._cache = _EncodedLRU(cache_size) if cache_size > 0 else None
+
+        # -- streaming drift monitor (training baseline in manifest) ---
+        baseline_dict = info.get("quality_baseline")
+        if quality is None:
+            quality = baseline_dict is not None
+        if quality and baseline_dict is None:
+            raise BundleError(
+                "quality=True but the bundle carries no quality_baseline "
+                "section — re-export it with "
+                "ModelBundle.from_pipeline(..., baseline_features=...)")
+        self.quality: Optional[DriftMonitor] = None
+        if quality:
+            self.quality = DriftMonitor(
+                QualityBaseline.from_dict(baseline_dict),
+                window=quality_window)
+
         if selfcheck and self.use_packed:
             self.selfcheck()
 
@@ -240,7 +268,23 @@ class InferenceEngine:
                 stage = self._classify
             with request_span(getattr(stage, "span_name",
                                       "stage.similarity")):
-                return np.asarray(stage(encoded))
+                labels = np.asarray(stage(encoded))
+            if self.quality is not None:
+                self._observe_quality(raw_features, labels, encoded)
+            return labels
+
+    def _observe_quality(self, raw_features: np.ndarray,
+                         labels: np.ndarray,
+                         encoded: np.ndarray) -> None:
+        """Feed the drift monitor; a monitor bug must never fail serving."""
+        try:
+            with span("serve.quality",
+                      nbytes=int(raw_features.nbytes)):
+                sims = self._classify.similarities(encoded)
+                self.quality.observe(raw_features, labels=labels,
+                                     similarities=sims, encoded=encoded)
+        except Exception:
+            get_registry().inc("quality.monitor_errors")
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Class predictions for raw NCHW images (end-to-end)."""
@@ -305,6 +349,8 @@ class InferenceEngine:
             "has_extractor": self.extractor is not None,
             "has_manifold": "reduce" in self.graph,
             "cache": self.cache_info(),
+            "quality": (None if self.quality is None
+                        else self.quality.describe()),
             "config_fingerprint": self.bundle.info.get(
                 "config_fingerprint"),
         }

@@ -34,9 +34,11 @@ Endpoints: ``POST /predict`` (routed), ``GET /healthz`` (fleet +
 breaker summary), ``GET /metrics`` (Prometheus text of the router
 process registry — which already carries the supervisor's per-worker
 up/restart gauges, the breaker state gauges, and the router's own
-``fleet.router.*`` counters and latency quantiles), ``POST /reload``
-(broadcast to every live worker; any rejection answers 409 with the
-per-worker outcomes).
+``fleet.router.*`` counters and latency quantiles), ``GET /driftz``
+(per-worker model-quality drift snapshots + a fleet-wide rollup of the
+worst PSI/z-score), ``GET /alertz`` (the router's own alert-rule
+states), ``POST /reload`` (broadcast to every live worker; any
+rejection answers 409 with the per-worker outcomes).
 """
 
 from __future__ import annotations
@@ -53,8 +55,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..reliability.circuit import CircuitBreaker
-from ..telemetry import (BurnRateTracker, clock, get_registry,
-                         get_request_log, prometheus_text, request_span)
+from ..telemetry import (AlertManager, BurnRateTracker, clock,
+                         get_registry, get_request_log, prometheus_text,
+                         request_span)
 from ..telemetry.reqtrace import HUB as _HUB
 from ..telemetry.reqtrace import TraceContext, _RequestTrace
 from .server import _requestz_payload, _tracez_payload
@@ -250,6 +253,10 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self._send_json(*_tracez_payload(url.query))
         elif url.path == "/requestz":
             self._send_json(200, _requestz_payload(url.query))
+        elif url.path == "/driftz":
+            self._send_json(200, app.fleet_driftz())
+        elif url.path == "/alertz":
+            self._send_json(200, app.alertz())
         else:
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
@@ -331,6 +338,14 @@ class Router:
     slo_latency_ms:
         Latency target a request must meet to count as "fast" for the
         latency SLO.
+    alert_rules:
+        Declarative :class:`~repro.telemetry.alerts.AlertRule` list
+        evaluated against the *router's* registry (fleet SLO burn
+        gauges, router latency quantiles, worker up/restart gauges) on
+        a background thread while the router runs; exposed at
+        ``GET /alertz`` and as ``alert.state.*`` gauges.
+    alert_interval_s:
+        Background evaluation period for the alert rules.
     """
 
     def __init__(self, fleet: Any, host: str = "127.0.0.1", port: int = 0,
@@ -340,7 +355,9 @@ class Router:
                  breaker_options: Optional[Dict[str, Any]] = None,
                  own_fleet: bool = False,
                  slo_objective: float = 0.999,
-                 slo_latency_ms: float = 250.0):
+                 slo_latency_ms: float = 250.0,
+                 alert_rules: Optional[List[Any]] = None,
+                 alert_interval_s: float = 1.0):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.fleet = fleet
@@ -353,6 +370,9 @@ class Router:
         self.slo_latency_ms = float(slo_latency_ms)
         self.slo_availability = BurnRateTracker(objective=slo_objective)
         self.slo_latency = BurnRateTracker(objective=slo_objective)
+        self.alerts = (AlertManager(list(alert_rules))
+                       if alert_rules else None)
+        self.alert_interval_s = float(alert_interval_s)
         self.draining = False
         self._ring: Optional[HashRing] = None
         self._ring_members: Tuple[str, ...] = ()
@@ -580,6 +600,69 @@ class Router:
         return (200 if ok else 409), {"reloaded": ok, "workers": results}
 
     # ------------------------------------------------------------------
+    # Model-quality observability (/driftz, /alertz)
+    # ------------------------------------------------------------------
+    def fleet_driftz(self) -> Dict[str, Any]:
+        """``GET /driftz``: per-worker drift snapshots + fleet rollup.
+
+        Fans ``GET /driftz`` out to every healthy worker (same pattern
+        as :meth:`broadcast_reload`) and aggregates the headline drift
+        scalars — worst PSI/z-score across workers, total window
+        samples — so one probe answers "is the fleet drifting" without
+        scraping each worker.
+        """
+        workers: Dict[str, Any] = {}
+        psi_max = zscore_max = pred_psi = 0.0
+        samples = 0
+        reporting = 0
+        for worker_id, address in self.fleet.healthy_workers():
+            client = self._client(worker_id, address)
+            try:
+                status, data = client.request("GET", "/driftz")
+                payload = json.loads(data.decode("utf-8"))
+            except Exception as exc:
+                workers[worker_id] = {
+                    "error": f"{type(exc).__name__}: {exc}"}
+                continue
+            if status != 200 or not isinstance(payload, dict):
+                workers[worker_id] = {"status": status}
+                continue
+            workers[worker_id] = payload
+            if not payload.get("enabled"):
+                continue
+            reporting += 1
+            feature = payload.get("feature") or {}
+            prediction = payload.get("prediction") or {}
+            psi_max = max(psi_max, float(feature.get("psi_max") or 0.0))
+            zscore_max = max(zscore_max,
+                             float(feature.get("zscore_max") or 0.0))
+            pred_psi = max(pred_psi,
+                           float(prediction.get("psi") or 0.0))
+            samples += int(payload.get("samples") or 0)
+        registry = get_registry()
+        registry.set_gauge("fleet.quality.psi_max", psi_max)
+        registry.set_gauge("fleet.quality.prediction_psi", pred_psi)
+        registry.set_gauge("fleet.quality.workers_reporting",
+                           float(reporting))
+        return {
+            "enabled": reporting > 0,
+            "fleet": {"feature_psi_max": psi_max,
+                      "feature_zscore_max": zscore_max,
+                      "prediction_psi": pred_psi,
+                      "samples": samples,
+                      "workers_reporting": reporting,
+                      "workers_probed": len(workers)},
+            "workers": workers,
+        }
+
+    def alertz(self) -> Dict[str, Any]:
+        """``GET /alertz``: evaluate-now snapshot of the router rules."""
+        if self.alerts is None:
+            return {"enabled": False, "rules": [], "firing": []}
+        self.alerts.evaluate()
+        return self.alerts.snapshot()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -624,16 +707,22 @@ class Router:
         if self._thread is not None:
             raise RuntimeError("router already started")
         self._started = True
+        self._start_alerts()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="fleet-router",
             daemon=True)
         self._thread.start()
         return self
 
+    def _start_alerts(self) -> None:
+        if self.alerts is not None and self.alerts._thread is None:
+            self.alerts.start(self.alert_interval_s)
+
     def serve_forever(self) -> None:
         """Serve on the calling thread (CLI); SIGTERM/SIGINT drain."""
         self._started = True
         self.install_signal_handlers()
+        self._start_alerts()
         try:
             self._httpd.serve_forever()
         finally:
@@ -664,6 +753,8 @@ class Router:
     def stop(self, drain_timeout_s: float = 10.0) -> None:
         """Stop accepting, flush in-flight requests, stop the fleet."""
         self.draining = True
+        if self.alerts is not None:
+            self.alerts.stop()
         if self._started:
             self._httpd.shutdown()
         self._httpd.server_close()

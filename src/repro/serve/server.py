@@ -28,6 +28,17 @@ Endpoints
 ``GET /metrics``
     Prometheus text exposition of the process-global telemetry registry
     (the same counters/histograms the batcher and engine populate).
+``GET /driftz``
+    Model-quality snapshot from the engine's streaming
+    :class:`~repro.telemetry.quality.DriftMonitor` (feature PSI /
+    z-scores vs the training baseline, prediction skew, margin and
+    confidence histograms, HV saturation); ``{"enabled": false}`` when
+    the bundle carries no quality baseline.
+``GET /alertz``
+    Evaluate-now snapshot of the declarative alert rules
+    (:mod:`repro.telemetry.alerts`): per-rule state machine
+    (inactive/pending/firing/resolved), firing list, recent
+    transitions.
 ``POST /slow`` (chaos builds only)
     Fault-injection stall: ``{"stall_s": 2.5}`` wedges ``/predict`` and
     ``/healthz`` for the given duration, simulating a hung worker for
@@ -56,8 +67,8 @@ import numpy as np
 
 from ..reliability.degrade import (DeadlineExceededError, LoadShedder,
                                    OverloadShedError)
-from ..telemetry import (clock, get_flight_recorder, get_registry,
-                         get_request_log, prometheus_text)
+from ..telemetry import (AlertManager, clock, get_flight_recorder,
+                         get_registry, get_request_log, prometheus_text)
 from ..telemetry.reqtrace import HUB as _HUB
 from ..telemetry.reqtrace import TraceContext
 from .batching import MicroBatcher
@@ -171,6 +182,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(*_tracez_payload(url.query))
         elif url.path == "/requestz":
             self._send_json(200, _requestz_payload(url.query))
+        elif url.path == "/driftz":
+            self._send_json(200, app.driftz())
+        elif url.path == "/alertz":
+            self._send_json(200, app.alertz())
         else:
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
@@ -427,6 +442,14 @@ class ModelServer:
         outside tests/chaos harnesses).  Defaults to the
         ``REPRO_SERVE_CHAOS=1`` environment toggle so a fleet
         supervisor can arm spawned workers.
+    alert_rules:
+        Declarative :class:`~repro.telemetry.alerts.AlertRule` list
+        evaluated against the metrics registry on a background thread
+        while the server runs (and on every ``GET /alertz``); rule
+        states are also published as ``alert.state.*`` gauges in
+        ``/metrics``.  ``None``/empty disables alerting.
+    alert_interval_s:
+        Background evaluation period for the alert rules.
     """
 
     def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
@@ -436,7 +459,9 @@ class ModelServer:
                  timeout_s: Optional[float] = 5.0,
                  bundle_path: Optional[str] = None,
                  engine_options: Optional[Dict[str, Any]] = None,
-                 chaos: Optional[bool] = None):
+                 chaos: Optional[bool] = None,
+                 alert_rules: Optional[list] = None,
+                 alert_interval_s: float = 1.0):
         self.engine = engine
         self.bundle_path = bundle_path
         if chaos is None:
@@ -452,6 +477,11 @@ class ModelServer:
                               if callable(cache_info) else {})
         self.engine_options = dict(engine_options)
         self.reloads = 0
+        self.last_reload_ts: Optional[float] = None
+        self.started_at = time.time()
+        self.alerts = (AlertManager(list(alert_rules))
+                       if alert_rules else None)
+        self.alert_interval_s = float(alert_interval_s)
         self._reload_lock = threading.Lock()
         self.shedder = (LoadShedder(high_watermark)
                         if high_watermark else None)
@@ -577,7 +607,47 @@ class ModelServer:
                 payload["selfcheck"] = f"{type(exc).__name__}: {exc}"
             else:
                 payload["selfcheck"] = "ok"
+            # Operator-facing engine vitals: a cold cache, a packed
+            # path that silently fell back to float, or an engine still
+            # serving a stale bundle are all visible here without a
+            # /metrics scrape.
+            cache_info = getattr(self.engine, "cache_info", None)
+            cache = cache_info() if callable(cache_info) else {}
+            lookups = cache.get("hits", 0) + cache.get("misses", 0)
+            payload["engine_vitals"] = {
+                "cache_hit_rate": (cache["hits"] / lookups
+                                   if lookups else None),
+                "cache_entries": cache.get("entries", 0),
+                "packed_path": bool(getattr(self.engine, "use_packed",
+                                            False)),
+                "quality_monitor": getattr(self.engine, "quality",
+                                           None) is not None,
+                "last_reload_ts": self.last_reload_ts,
+                "started_at": self.started_at,
+                "uptime_s": time.time() - self.started_at,
+            }
         return payload
+
+    # ------------------------------------------------------------------
+    # Model-quality observability (/driftz, /alertz)
+    # ------------------------------------------------------------------
+    def driftz(self) -> Dict[str, Any]:
+        """``GET /driftz`` body: the engine's drift-monitor snapshot."""
+        monitor = getattr(self.engine, "quality", None)
+        if monitor is None:
+            return {"enabled": False}
+        return monitor.snapshot()
+
+    def alertz(self) -> Dict[str, Any]:
+        """``GET /alertz`` body: evaluate-now + alert states.
+
+        Evaluating on read means the endpoint is accurate even when the
+        background evaluator is not running (tests, one-shot probes).
+        """
+        if self.alerts is None:
+            return {"enabled": False, "rules": [], "firing": []}
+        self.alerts.evaluate()
+        return self.alerts.snapshot()
 
     # ------------------------------------------------------------------
     # Hot reload
@@ -611,6 +681,7 @@ class ModelServer:
             self.engine = engine  # atomic swap behind _predict_batch
             self.bundle_path = path
             self.reloads += 1
+            self.last_reload_ts = time.time()
             get_registry().inc("serve.reload.success")
         return {
             "reloaded": True,
@@ -673,6 +744,7 @@ class ModelServer:
         if self._thread is not None:
             raise RuntimeError("server already started")
         self._started = True
+        self._start_alerts()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="model-server",
             daemon=True)
@@ -687,13 +759,20 @@ class ModelServer:
         """
         self._started = True
         self.install_signal_handlers()
+        self._start_alerts()
         try:
             self._httpd.serve_forever()
         finally:
             self.stop()
 
+    def _start_alerts(self) -> None:
+        if self.alerts is not None and self.alerts._thread is None:
+            self.alerts.start(self.alert_interval_s)
+
     def stop(self) -> None:
         """Shut down the HTTP listener and drain the batcher."""
+        if self.alerts is not None:
+            self.alerts.stop()
         if self._started:
             # shutdown() synchronizes with a serve_forever loop; calling
             # it on a never-served listener would block forever.

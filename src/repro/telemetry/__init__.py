@@ -30,6 +30,16 @@ beyond numpy + stdlib, importable from every other layer):
   introspection (class-hypervector drift, bipolar saturation fraction,
   class-confusability matrix, similarity-margin quantiles) via
   :class:`DiagnosticsCallback` riding the trainer-callback protocol.
+* :mod:`~repro.telemetry.quality` — *streaming* model-quality
+  monitors for the serving path: a :class:`QualityBaseline` captured
+  at bundle-export time (per-feature sketches, class priors, margin
+  quantiles) and a rolling-window :class:`DriftMonitor` (PSI/z-score
+  feature drift, prediction skew, margin histograms, HV saturation)
+  publishing ``quality.*`` metrics behind ``/driftz``.
+* :mod:`~repro.telemetry.alerts` — declarative alert rules
+  (threshold / absence / burn-rate) over the metrics registry with a
+  pending→firing→resolved state machine, for-duration debouncing,
+  ``alert.state.*`` gauges and the ``/alertz`` endpoint.
 
 Quickstart::
 
@@ -45,6 +55,8 @@ Quickstart::
     telemetry.RunLedger().append(record)
 """
 
+from .alerts import (ALERT_KINDS, ALERT_STATES, AlertManager, AlertRule,
+                     AlertRuleError, load_alert_rules)
 from .diagnostics import (DiagnosticsCallback, class_drift,
                           confusability_matrix, confusability_summary,
                           margin_quantiles, saturation_fraction)
@@ -64,6 +76,8 @@ from .metrics import (DEFAULT_QUANTILES, BurnRateTracker, Counter, Gauge,
                       set_registry, use_registry)
 from .profiler import (LayerStat, OpStat, Profiler, disabled_overhead_ratio,
                        get_active_profiler)
+from .quality import (BASELINE_VERSION, DEFAULT_BINS, DriftMonitor,
+                      QualityBaseline, population_stability_index)
 from .regress import (DEFAULT_ACCURACY_SPEC, DEFAULT_STAGE_SPEC,
                       DEFAULT_WALL_SPEC, CheckResult, GateReport, GateSpec,
                       check_series, gate_run, mad, rolling_baseline,
@@ -117,4 +131,10 @@ __all__ = [
     # diagnostics
     "DiagnosticsCallback", "class_drift", "saturation_fraction",
     "confusability_matrix", "confusability_summary", "margin_quantiles",
+    # quality (streaming drift monitors)
+    "QualityBaseline", "DriftMonitor", "population_stability_index",
+    "BASELINE_VERSION", "DEFAULT_BINS",
+    # alerts
+    "AlertRule", "AlertManager", "AlertRuleError", "load_alert_rules",
+    "ALERT_KINDS", "ALERT_STATES",
 ]

@@ -130,7 +130,10 @@ def margin_quantiles(registry: Optional[MetricsRegistry] = None,
     """p50/p95/p99 (plus mean/count) of the similarity-margin histogram.
 
     Returns an empty dict when the histogram does not exist yet (e.g.
-    before the first training batch) so callers can splat it safely.
+    before the first training batch) **or has received no samples** —
+    an empty P² histogram summarises to NaN quantiles, and splatting
+    NaNs into a ledger record poisons downstream median/MAD gating —
+    so callers can splat the result safely either way.
     """
     registry = registry if registry is not None else get_registry()
     if name not in registry:
@@ -139,6 +142,8 @@ def margin_quantiles(registry: Optional[MetricsRegistry] = None,
     if getattr(metric, "kind", None) != "histogram":
         return {}
     summary = metric.summary()
+    if not summary.get("count"):
+        return {}
     return {key: float(summary[key])
             for key in ("mean", "count", "p50", "p95", "p99")
             if key in summary}

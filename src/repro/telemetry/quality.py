@@ -1,0 +1,567 @@
+"""Streaming model-quality telemetry: training baselines + drift monitors.
+
+The serving fleet's latency/availability observability (spans, burn
+rates, request traces) cannot see the one failure mode unique to ML
+serving: a bundle that keeps answering **fast and 200** while the input
+distribution has walked away from what it was trained on.  This module
+turns the train-time introspection ideas of
+:mod:`~repro.telemetry.diagnostics` (drift, saturation, margins) into
+*production* monitors that compare live traffic against a baseline
+frozen at export time:
+
+* :class:`QualityBaseline` — a compact, JSON-serializable sketch of the
+  training distribution captured by
+  :meth:`repro.serve.bundle.ModelBundle.from_pipeline`: per-feature
+  mean/std and decile bin edges (for PSI), class priors, and train-time
+  margin/confidence quantiles.  It rides in the bundle manifest
+  (``info["quality_baseline"]``), so every serving process of that
+  bundle agrees on what "normal" looks like without coordination.
+* :class:`DriftMonitor` — cheap rolling-window statistics over the live
+  request stream, published as ``quality.*`` metrics and served raw on
+  the worker's ``/driftz`` endpoint:
+
+  - **feature drift**: windowed PSI per scaler-input feature against
+    the baseline decile histogram (the industry-standard population
+    stability index; > 0.25 is conventionally "significant shift"),
+    plus the z-score of the window mean under the baseline
+    mean/std (CLT-scaled, so a sustained mean shift stands out from
+    sampling noise);
+  - **prediction skew**: PSI of the windowed predicted-label
+    distribution against the training class priors (label-skew faults,
+    a stuck class, or a poisoned reload all show up here);
+  - **confidence / margin**: P² streaming histograms
+    (``quality.margin`` / ``quality.confidence``) of the top-1
+    similarity and top1−top2 margin — eroding margins are the earliest
+    symptom of a model losing separability on live traffic;
+  - **encoded-HV saturation**: :func:`~repro.telemetry.diagnostics.
+    saturation_fraction` of each encoded query batch — input overflow
+    or a broken scaler shows up as dimensions hogging magnitude.
+
+Everything is numpy + stdlib, O(window) memory, and vectorized so the
+per-request cost stays far below the encode GEMM (the
+``scripts/check_quality.sh`` gate bounds the serve-P99 overhead at
+< 5%).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .diagnostics import saturation_fraction
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = ["QualityBaseline", "DriftMonitor",
+           "population_stability_index", "BASELINE_VERSION",
+           "DEFAULT_BINS"]
+
+#: Schema version of the serialized baseline (bundle manifest section).
+BASELINE_VERSION = 1
+
+#: Default number of per-feature quantile bins for the PSI sketch.
+DEFAULT_BINS = 10
+
+
+def population_stability_index(expected, actual,
+                               epsilon: float = 1e-4) -> float:
+    """PSI between two discrete distributions (counts or proportions).
+
+    ``sum((a - e) * ln(a / e))`` over bins, with both sides normalized
+    to proportions and floored at ``epsilon`` so empty bins contribute
+    a large-but-finite term instead of ±inf.  Conventional reading:
+    < 0.1 stable, 0.1–0.25 moderate shift, > 0.25 significant shift.
+    Returns 0.0 when either side is empty (no evidence of shift).
+    """
+    expected = np.asarray(expected, dtype=np.float64).ravel()
+    actual = np.asarray(actual, dtype=np.float64).ravel()
+    if expected.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {expected.shape} vs "
+                         f"{actual.shape}")
+    e_sum, a_sum = float(expected.sum()), float(actual.sum())
+    if expected.size == 0 or e_sum <= 0 or a_sum <= 0:
+        return 0.0
+    e = np.clip(expected / e_sum, epsilon, None)
+    a = np.clip(actual / a_sum, epsilon, None)
+    e /= e.sum()
+    a /= a.sum()
+    return float(np.sum((a - e) * np.log(a / e)))
+
+
+def _psi_rows(expected: np.ndarray, actual: np.ndarray,
+              epsilon: float = 1e-4) -> np.ndarray:
+    """Row-wise PSI for ``(F, B)`` expected/actual count matrices."""
+    e_sum = expected.sum(axis=1, keepdims=True)
+    a_sum = actual.sum(axis=1, keepdims=True)
+    valid = (e_sum > 0) & (a_sum > 0)
+    e = np.clip(np.divide(expected, np.where(e_sum > 0, e_sum, 1.0)),
+                epsilon, None)
+    a = np.clip(np.divide(actual, np.where(a_sum > 0, a_sum, 1.0)),
+                epsilon, None)
+    e /= e.sum(axis=1, keepdims=True)
+    a /= a.sum(axis=1, keepdims=True)
+    psi = np.sum((a - e) * np.log(a / e), axis=1)
+    return np.where(valid.ravel(), psi, 0.0)
+
+
+def _quantile_dict(values: np.ndarray) -> Dict[str, float]:
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        return {}
+    return {
+        "mean": float(values.mean()),
+        "p50": float(np.quantile(values, 0.50)),
+        "p95": float(np.quantile(values, 0.95)),
+        "p99": float(np.quantile(values, 0.99)),
+    }
+
+
+def _margins(similarities: np.ndarray) -> tuple:
+    """``(confidence, margin)`` rows from an ``(n, k)`` similarity
+    matrix: top-1 similarity and top1 − top2 (top1 itself when k=1)."""
+    similarities = np.atleast_2d(
+        np.asarray(similarities, dtype=np.float64))
+    if similarities.shape[1] < 2:
+        confidence = similarities[:, 0]
+        return confidence, confidence.copy()
+    part = np.partition(similarities, -2, axis=1)
+    confidence = part[:, -1]
+    return confidence, confidence - part[:, -2]
+
+
+class QualityBaseline:
+    """Frozen sketch of the training distribution (bundle manifest).
+
+    Parameters
+    ----------
+    feature_mean, feature_std:
+        ``(F,)`` per-feature moments of the raw (pre-scaler) training
+        features; ``std`` is floored at a tiny epsilon so z-scores
+        never divide by zero.
+    bin_edges:
+        ``(F, n_bins - 1)`` interior quantile edges per feature.  A
+        value lands in bin ``sum(value >= edges)``.
+    expected:
+        ``(F, n_bins)`` training proportions per bin.  By construction
+        of quantile edges these are ~uniform, but ties (discrete
+        features) are captured exactly.
+    class_priors:
+        ``(k,)`` training label distribution.
+    margin, confidence:
+        ``{mean, p50, p95, p99}`` of the train-time top1−top2 margin
+        and top-1 similarity (may be empty when the exporter had no
+        similarity pass).
+    n_samples:
+        Rows the sketch was computed from.
+    """
+
+    def __init__(self, feature_mean, feature_std, bin_edges, expected,
+                 class_priors, margin: Optional[Dict[str, float]] = None,
+                 confidence: Optional[Dict[str, float]] = None,
+                 n_samples: int = 0):
+        self.feature_mean = np.asarray(feature_mean, dtype=np.float64)
+        self.feature_std = np.clip(
+            np.asarray(feature_std, dtype=np.float64), 1e-12, None)
+        self.bin_edges = np.atleast_2d(
+            np.asarray(bin_edges, dtype=np.float64))
+        self.expected = np.atleast_2d(np.asarray(expected,
+                                                 dtype=np.float64))
+        self.class_priors = np.asarray(class_priors, dtype=np.float64)
+        self.margin = dict(margin or {})
+        self.confidence = dict(confidence or {})
+        self.n_samples = int(n_samples)
+        if self.bin_edges.shape[0] != self.feature_mean.shape[0]:
+            raise ValueError(
+                f"bin_edges rows {self.bin_edges.shape[0]} != features "
+                f"{self.feature_mean.shape[0]}")
+        if self.expected.shape != (self.num_features, self.n_bins):
+            raise ValueError(
+                f"expected has shape {self.expected.shape}, want "
+                f"({self.num_features}, {self.n_bins})")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_features(self) -> int:
+        return int(self.feature_mean.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.class_priors.shape[0])
+
+    @property
+    def n_bins(self) -> int:
+        return int(self.bin_edges.shape[1]) + 1
+
+    def bin_indices(self, features: np.ndarray) -> np.ndarray:
+        """Per-feature bin index of each row: ``(n, F)`` ints in
+        ``[0, n_bins)`` (vectorized: one broadcast comparison)."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return (features[:, :, None]
+                >= self.bin_edges[None, :, :]).sum(axis=2)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_training(cls, features, labels=None,
+                      num_classes: Optional[int] = None,
+                      similarities=None,
+                      n_bins: int = DEFAULT_BINS) -> "QualityBaseline":
+        """Sketch a training set (and optionally its similarity pass).
+
+        ``labels`` default to ``argmax(similarities)`` when a
+        similarity matrix is given (the priors then describe what the
+        *model* predicts on its own training data — exactly the
+        distribution live predictions are compared against), and to a
+        uniform prior over ``num_classes`` otherwise.
+        """
+        if n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        n, _ = features.shape
+        if n == 0:
+            raise ValueError("cannot sketch an empty training set")
+        mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        interior = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+        edges = np.quantile(features, interior, axis=0).T
+
+        margin: Dict[str, float] = {}
+        confidence: Dict[str, float] = {}
+        if similarities is not None:
+            conf_rows, margin_rows = _margins(similarities)
+            margin = _quantile_dict(margin_rows)
+            confidence = _quantile_dict(conf_rows)
+            if labels is None:
+                labels = np.argmax(np.atleast_2d(
+                    np.asarray(similarities, dtype=np.float64)), axis=1)
+
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64).ravel()
+            k = int(num_classes if num_classes is not None
+                    else labels.max() + 1)
+            priors = np.bincount(labels, minlength=k).astype(np.float64)
+            priors /= priors.sum()
+        else:
+            k = int(num_classes or 0)
+            if k < 1:
+                raise ValueError(
+                    "need labels, similarities, or num_classes to set "
+                    "the class priors")
+            priors = np.full(k, 1.0 / k)
+
+        baseline = cls(mean, std, edges, np.zeros((features.shape[1],
+                                                   n_bins)),
+                       priors, margin=margin, confidence=confidence,
+                       n_samples=n)
+        bins = baseline.bin_indices(features)
+        expected = np.zeros((features.shape[1], n_bins))
+        for b in range(n_bins):
+            expected[:, b] = (bins == b).sum(axis=0)
+        baseline.expected = expected / n
+        return baseline
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (bundle manifest section)."""
+        return {
+            "version": BASELINE_VERSION,
+            "n_samples": self.n_samples,
+            "n_bins": self.n_bins,
+            "feature_mean": [float(v) for v in self.feature_mean],
+            "feature_std": [float(v) for v in self.feature_std],
+            "bin_edges": [[float(v) for v in row]
+                          for row in self.bin_edges],
+            "expected": [[float(v) for v in row]
+                         for row in self.expected],
+            "class_priors": [float(v) for v in self.class_priors],
+            "margin": {k: float(v) for k, v in self.margin.items()},
+            "confidence": {k: float(v)
+                           for k, v in self.confidence.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QualityBaseline":
+        version = int(data.get("version", 0))
+        if version < 1 or version > BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported quality baseline version {version!r} "
+                f"(supported: 1..{BASELINE_VERSION})")
+        return cls(
+            data["feature_mean"], data["feature_std"],
+            data["bin_edges"], data["expected"], data["class_priors"],
+            margin=data.get("margin"), confidence=data.get("confidence"),
+            n_samples=int(data.get("n_samples", 0)))
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary facts (healthz / driftz headers)."""
+        return {"version": BASELINE_VERSION,
+                "n_samples": self.n_samples,
+                "features": self.num_features,
+                "classes": self.num_classes,
+                "n_bins": self.n_bins,
+                "has_margin": bool(self.margin)}
+
+    def __repr__(self) -> str:
+        return (f"QualityBaseline(features={self.num_features}, "
+                f"classes={self.num_classes}, bins={self.n_bins}, "
+                f"n={self.n_samples})")
+
+
+class DriftMonitor:
+    """Rolling-window drift statistics against a frozen baseline.
+
+    Thread-safe; every serving thread calls :meth:`observe` with the
+    raw features (scaler inputs), predicted labels, and optionally the
+    similarity matrix and encoded hypervectors of a batch.  After each
+    update the headline scalars are republished as ``quality.*``
+    gauges, so the alert rules engine (and Prometheus scrapes) always
+    see the current window:
+
+    ====================================  =============================
+    metric                                meaning
+    ====================================  =============================
+    ``quality.samples``                   counter of observed rows
+    ``quality.window_fill``               window occupancy in [0, 1]
+    ``quality.feature.psi_max``           worst per-feature window PSI
+    ``quality.feature.psi_mean``          mean per-feature window PSI
+    ``quality.feature.zscore_max``        worst |z| of the window mean
+    ``quality.prediction.psi``            predicted-label PSI vs priors
+    ``quality.margin`` (histogram)        live top1−top2 margin
+    ``quality.confidence`` (histogram)    live top-1 similarity
+    ``quality.encoded.saturation``        saturation of last batch
+    ====================================  =============================
+
+    Gauges stay 0 until ``min_samples`` rows are in the window, so a
+    cold start cannot fire a drift alert off three requests.
+    """
+
+    def __init__(self, baseline: QualityBaseline, window: int = 512,
+                 min_samples: int = 64,
+                 registry: Optional[MetricsRegistry] = None,
+                 sat_factor: float = 3.0, prefix: str = "quality"):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.baseline = baseline
+        self.window = int(window)
+        self.min_samples = max(1, int(min_samples))
+        self.registry = registry
+        self.sat_factor = float(sat_factor)
+        self.prefix = str(prefix)
+        f = baseline.num_features
+        self._bin_ring = np.zeros((self.window, f), dtype=np.int16)
+        self._feat_ring = np.zeros((self.window, f), dtype=np.float64)
+        self._label_ring = np.full(self.window, -1, dtype=np.int64)
+        self._counts = np.zeros((f, baseline.n_bins), dtype=np.float64)
+        self._label_counts = np.zeros(baseline.num_classes,
+                                      dtype=np.float64)
+        self._feat_sum = np.zeros(f, dtype=np.float64)
+        self._pos = 0
+        self._size = 0
+        self._labeled = 0
+        self.samples = 0
+        self._last = {"feature_psi_max": 0.0, "feature_psi_mean": 0.0,
+                      "feature_zscore_max": 0.0, "prediction_psi": 0.0,
+                      "saturation": 0.0}
+        self._feature_psi = np.zeros(f, dtype=np.float64)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _registry(self) -> MetricsRegistry:
+        return self.registry if self.registry is not None \
+            else get_registry()
+
+    def observe(self, features, labels=None, similarities=None,
+                encoded=None) -> None:
+        """Fold one batch of live traffic into the window.
+
+        ``features`` is the raw ``(n, F)`` scaler input; ``labels`` the
+        served predictions; ``similarities`` the ``(n, k)`` matrix (for
+        margin/confidence histograms); ``encoded`` the query
+        hypervectors (for the saturation gauge).  Everything except
+        ``features`` is optional.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        n = features.shape[0]
+        if features.shape[1] != self.baseline.num_features:
+            raise ValueError(
+                f"features have {features.shape[1]} columns, baseline "
+                f"sketch has {self.baseline.num_features}")
+        bins = self.baseline.bin_indices(features)
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64).ravel()
+        registry = self._registry()
+        arange_f = np.arange(self.baseline.num_features)
+
+        margin_rows = conf_rows = None
+        if similarities is not None:
+            conf_rows, margin_rows = _margins(similarities)
+        saturation = None
+        if encoded is not None:
+            saturation = saturation_fraction(np.asarray(encoded),
+                                             self.sat_factor)
+
+        with self._lock:
+            for i in range(n):
+                pos = self._pos
+                if self._size == self.window:
+                    # Evict the overwritten row from the running stats.
+                    self._counts[arange_f, self._bin_ring[pos]] -= 1.0
+                    self._feat_sum -= self._feat_ring[pos]
+                    old_label = self._label_ring[pos]
+                    if old_label >= 0:
+                        if old_label < self._label_counts.shape[0]:
+                            self._label_counts[old_label] -= 1.0
+                        self._labeled -= 1
+                self._bin_ring[pos] = bins[i]
+                self._feat_ring[pos] = features[i]
+                self._counts[arange_f, bins[i]] += 1.0
+                self._feat_sum += features[i]
+                label = int(labels[i]) if labels is not None \
+                    and i < labels.shape[0] else -1
+                self._label_ring[pos] = label
+                if label >= 0:
+                    if label < self._label_counts.shape[0]:
+                        self._label_counts[label] += 1.0
+                    self._labeled += 1
+                self._pos = (pos + 1) % self.window
+                if self._size < self.window:
+                    self._size += 1
+            self.samples += n
+            if saturation is not None:
+                self._last["saturation"] = float(saturation)
+            self._refresh_locked()
+            snapshot = dict(self._last)
+            size = self._size
+
+        registry.inc(f"{self.prefix}.samples", n)
+        registry.set_gauge(f"{self.prefix}.window_fill",
+                           size / self.window)
+        registry.set_gauge(f"{self.prefix}.feature.psi_max",
+                           snapshot["feature_psi_max"])
+        registry.set_gauge(f"{self.prefix}.feature.psi_mean",
+                           snapshot["feature_psi_mean"])
+        registry.set_gauge(f"{self.prefix}.feature.zscore_max",
+                           snapshot["feature_zscore_max"])
+        registry.set_gauge(f"{self.prefix}.prediction.psi",
+                           snapshot["prediction_psi"])
+        if saturation is not None:
+            registry.set_gauge(f"{self.prefix}.encoded.saturation",
+                               float(saturation))
+        if margin_rows is not None:
+            registry.observe_many(f"{self.prefix}.margin", margin_rows)
+            registry.observe_many(f"{self.prefix}.confidence",
+                                  conf_rows)
+
+    def _refresh_locked(self) -> None:
+        """Recompute the headline scalars (caller holds the lock)."""
+        if self._size < self.min_samples:
+            self._feature_psi[:] = 0.0
+            self._last.update(feature_psi_max=0.0, feature_psi_mean=0.0,
+                              feature_zscore_max=0.0,
+                              prediction_psi=0.0)
+            return
+        psi = _psi_rows(self.baseline.expected, self._counts)
+        self._feature_psi = psi
+        win_mean = self._feat_sum / self._size
+        z = (win_mean - self.baseline.feature_mean) \
+            / (self.baseline.feature_std / math.sqrt(self._size))
+        pred_psi = 0.0
+        if self._labeled >= self.min_samples:
+            pred_psi = population_stability_index(
+                self.baseline.class_priors, self._label_counts)
+        self._last.update(
+            feature_psi_max=float(psi.max()) if psi.size else 0.0,
+            feature_psi_mean=float(psi.mean()) if psi.size else 0.0,
+            feature_zscore_max=float(np.abs(z).max()) if z.size else 0.0,
+            prediction_psi=float(pred_psi))
+
+    # ------------------------------------------------------------------
+    def top_features(self, k: int = 5) -> List[Dict[str, float]]:
+        """The ``k`` features with the worst window PSI (descending)."""
+        with self._lock:
+            psi = self._feature_psi.copy()
+        order = np.argsort(psi)[::-1][:max(0, int(k))]
+        return [{"feature": int(i), "psi": float(psi[i])}
+                for i in order if psi[i] > 0.0]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``/driftz`` payload: window stats + baseline facts."""
+        with self._lock:
+            last = dict(self._last)
+            size = self._size
+            labeled = self._labeled
+            label_counts = self._label_counts.copy()
+            samples = self.samples
+        registry = self._registry()
+        margins: Dict[str, Any] = {}
+        confidences: Dict[str, Any] = {}
+        for name, out in ((f"{self.prefix}.margin", margins),
+                          (f"{self.prefix}.confidence", confidences)):
+            if name in registry:
+                metric = registry.get(name)
+                if getattr(metric, "kind", None) == "histogram" \
+                        and metric.count:
+                    summary = metric.summary()
+                    out.update({key: summary[key] for key in
+                                ("count", "mean", "p50", "p95", "p99")
+                                if key in summary})
+        total_labels = float(label_counts.sum())
+        return {
+            "enabled": True,
+            "samples": samples,
+            "baseline": self.baseline.describe(),
+            "window": {"capacity": self.window, "size": size,
+                       "fill": size / self.window,
+                       "min_samples": self.min_samples,
+                       "labeled": labeled},
+            "feature": {
+                "psi_max": last["feature_psi_max"],
+                "psi_mean": last["feature_psi_mean"],
+                "zscore_max": last["feature_zscore_max"],
+                "top": self.top_features(),
+            },
+            "prediction": {
+                "psi": last["prediction_psi"],
+                "priors": [float(v)
+                           for v in self.baseline.class_priors],
+                "window": [float(v / total_labels) if total_labels
+                           else 0.0 for v in label_counts],
+            },
+            "margin": {"baseline": dict(self.baseline.margin),
+                       "live": margins},
+            "confidence": {"baseline": dict(self.baseline.confidence),
+                           "live": confidences},
+            "saturation": last["saturation"],
+        }
+
+    def describe(self) -> Dict[str, Any]:
+        """Cheap facts for the engine's ``describe()`` / healthz."""
+        with self._lock:
+            return {"window": self.window,
+                    "min_samples": self.min_samples,
+                    "size": self._size,
+                    "samples": self.samples,
+                    "baseline_samples": self.baseline.n_samples}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._bin_ring[:] = 0
+            self._feat_ring[:] = 0.0
+            self._label_ring[:] = -1
+            self._counts[:] = 0.0
+            self._label_counts[:] = 0.0
+            self._feat_sum[:] = 0.0
+            self._feature_psi[:] = 0.0
+            self._pos = 0
+            self._size = 0
+            self._labeled = 0
+            self.samples = 0
+            self._last = {"feature_psi_max": 0.0,
+                          "feature_psi_mean": 0.0,
+                          "feature_zscore_max": 0.0,
+                          "prediction_psi": 0.0, "saturation": 0.0}
+
+    def __repr__(self) -> str:
+        return (f"DriftMonitor(window={self.window}, size={self._size}, "
+                f"samples={self.samples})")

@@ -100,6 +100,23 @@ class TestConfusability:
         summary = confusability_summary(matrix)
         assert sorted(summary["most_confusable"]) == [1, 2]
 
+    def test_mixed_zero_norm_row_stays_finite(self):
+        # One untrained (all-zero) prototype among live ones must not
+        # poison the summary with NaN/inf.
+        matrix = np.array([[1.0, 0.0], [0.0, 0.0], [0.0, 1.0]])
+        summary = confusability_summary(matrix)
+        assert math.isfinite(summary["off_diag_mean"])
+        assert math.isfinite(summary["off_diag_max"])
+
+    def test_single_class_summary_is_json_safe(self):
+        # json.dumps must not choke on the degenerate k=1 summary once
+        # NaNs are mapped out the way the ledger serialises them.
+        summary = confusability_summary(np.ones((1, 4)))
+        safe = {key: (None if isinstance(value, float)
+                      and math.isnan(value) else value)
+                for key, value in summary.items()}
+        json.dumps(safe)
+
 
 class TestMarginQuantiles:
     def test_empty_when_absent(self):
@@ -118,6 +135,13 @@ class TestMarginQuantiles:
     def test_wrong_kind_ignored(self):
         with use_registry() as registry:
             registry.set_gauge("train.similarity_margin", 1.0)
+            assert margin_quantiles(registry) == {}
+
+    def test_empty_histogram_returns_empty(self):
+        # A histogram that exists but never sampled any margin must
+        # yield {} rather than NaN quantiles.
+        with use_registry() as registry:
+            registry.histogram("train.similarity_margin")
             assert margin_quantiles(registry) == {}
 
 

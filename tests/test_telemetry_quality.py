@@ -1,0 +1,238 @@
+"""Streaming quality telemetry: baselines, PSI, drift monitors."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.quality import (BASELINE_VERSION, DriftMonitor,
+                                     QualityBaseline,
+                                     population_stability_index)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture()
+def baseline():
+    rng = _rng(3)
+    features = rng.normal(size=(1500, 6))
+    labels = rng.integers(0, 4, size=1500)
+    return QualityBaseline.from_training(features, labels=labels,
+                                         num_classes=4)
+
+
+class TestPSI:
+    def test_identical_distributions_are_zero(self):
+        assert population_stability_index([1, 2, 3], [10, 20, 30]) == \
+            pytest.approx(0.0)
+
+    def test_shifted_distribution_is_large(self):
+        psi = population_stability_index([100, 100, 100],
+                                         [300, 10, 10])
+        assert psi > 0.25
+
+    def test_symmetric_in_magnitude(self):
+        forward = population_stability_index([80, 20], [20, 80])
+        backward = population_stability_index([20, 80], [80, 20])
+        assert forward == pytest.approx(backward)
+        assert forward > 0
+
+    def test_empty_sides_are_zero(self):
+        assert population_stability_index([], []) == 0.0
+        assert population_stability_index([0, 0], [1, 2]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            population_stability_index([1, 2], [1, 2, 3])
+
+    def test_empty_bins_stay_finite(self):
+        psi = population_stability_index([100, 0, 0], [0, 0, 100])
+        assert np.isfinite(psi) and psi > 1.0
+
+
+class TestQualityBaseline:
+    def test_from_training_shapes(self, baseline):
+        assert baseline.num_features == 6
+        assert baseline.num_classes == 4
+        assert baseline.n_bins == 10
+        assert baseline.bin_edges.shape == (6, 9)
+        assert baseline.expected.shape == (6, 10)
+        # Quantile bins over a continuous sample are ~uniform, and the
+        # per-feature proportions sum to one.
+        np.testing.assert_allclose(baseline.expected.sum(axis=1), 1.0)
+        assert baseline.expected.max() < 0.2
+        assert baseline.n_samples == 1500
+
+    def test_priors_from_labels(self):
+        features = _rng(0).normal(size=(100, 3))
+        labels = np.array([0] * 80 + [1] * 20)
+        base = QualityBaseline.from_training(features, labels=labels,
+                                             num_classes=3)
+        np.testing.assert_allclose(base.class_priors, [0.8, 0.2, 0.0])
+
+    def test_labels_default_to_similarity_argmax(self):
+        features = _rng(0).normal(size=(50, 3))
+        sims = np.zeros((50, 2))
+        sims[:30, 0] = 1.0
+        sims[30:, 1] = 1.0
+        base = QualityBaseline.from_training(features,
+                                             similarities=sims)
+        np.testing.assert_allclose(base.class_priors, [0.6, 0.4])
+        assert base.margin and base.confidence
+
+    def test_uniform_priors_without_labels(self):
+        base = QualityBaseline.from_training(
+            _rng(0).normal(size=(40, 2)), num_classes=5)
+        np.testing.assert_allclose(base.class_priors, np.full(5, 0.2))
+
+    def test_no_label_source_raises(self):
+        with pytest.raises(ValueError, match="class priors"):
+            QualityBaseline.from_training(_rng(0).normal(size=(10, 2)))
+
+    def test_empty_training_set_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            QualityBaseline.from_training(np.empty((0, 4)),
+                                          num_classes=2)
+
+    def test_bin_indices_bounds_and_monotonicity(self, baseline):
+        probes = np.array([[-1e9] * 6, [1e9] * 6])
+        bins = baseline.bin_indices(probes)
+        assert (bins[0] == 0).all()
+        assert (bins[1] == baseline.n_bins - 1).all()
+
+    def test_dict_round_trip(self, baseline):
+        data = baseline.to_dict()
+        assert data["version"] == BASELINE_VERSION
+        back = QualityBaseline.from_dict(data)
+        np.testing.assert_allclose(back.feature_mean,
+                                   baseline.feature_mean)
+        np.testing.assert_allclose(back.bin_edges, baseline.bin_edges)
+        np.testing.assert_allclose(back.expected, baseline.expected)
+        np.testing.assert_allclose(back.class_priors,
+                                   baseline.class_priors)
+        assert back.n_samples == baseline.n_samples
+
+    def test_round_trip_survives_json(self, baseline):
+        import json
+        back = QualityBaseline.from_dict(
+            json.loads(json.dumps(baseline.to_dict())))
+        np.testing.assert_allclose(back.expected, baseline.expected)
+
+    def test_unsupported_version_raises(self, baseline):
+        data = baseline.to_dict()
+        data["version"] = BASELINE_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            QualityBaseline.from_dict(data)
+
+    def test_constant_feature_has_safe_std(self):
+        features = np.ones((50, 2))
+        base = QualityBaseline.from_training(features, num_classes=2)
+        assert (base.feature_std > 0).all()
+
+    def test_describe(self, baseline):
+        facts = baseline.describe()
+        assert facts["features"] == 6 and facts["classes"] == 4
+
+
+class TestDriftMonitor:
+    def _monitor(self, baseline, **kwargs):
+        registry = MetricsRegistry()
+        kwargs.setdefault("window", 256)
+        kwargs.setdefault("min_samples", 64)
+        return DriftMonitor(baseline, registry=registry,
+                            **kwargs), registry
+
+    def test_clean_traffic_stays_quiet(self, baseline):
+        monitor, registry = self._monitor(baseline)
+        rng = _rng(7)
+        for _ in range(4):
+            monitor.observe(rng.normal(size=(64, 6)),
+                            labels=rng.integers(0, 4, size=64))
+        snap = monitor.snapshot()
+        assert snap["feature"]["psi_max"] < 0.25
+        assert snap["prediction"]["psi"] < 0.5
+        assert registry.get("quality.feature.psi_max").value < 0.25
+
+    def test_covariate_shift_fires_psi_and_zscore(self, baseline):
+        monitor, registry = self._monitor(baseline)
+        rng = _rng(7)
+        for _ in range(4):
+            monitor.observe(3.0 + 2.0 * rng.normal(size=(64, 6)))
+        snap = monitor.snapshot()
+        assert snap["feature"]["psi_max"] > 0.25
+        assert snap["feature"]["zscore_max"] > 6.0
+        assert registry.get("quality.feature.psi_max").value > 0.25
+        top = monitor.top_features(3)
+        assert top and top[0]["psi"] >= top[-1]["psi"]
+
+    def test_gauges_zero_below_min_samples(self, baseline):
+        monitor, registry = self._monitor(baseline, min_samples=64)
+        monitor.observe(3.0 + _rng(0).normal(size=(16, 6)))
+        assert registry.get("quality.feature.psi_max").value == 0.0
+        assert monitor.snapshot()["feature"]["psi_max"] == 0.0
+
+    def test_label_skew_fires_prediction_psi(self, baseline):
+        monitor, _ = self._monitor(baseline)
+        rng = _rng(1)
+        for _ in range(4):
+            monitor.observe(rng.normal(size=(64, 6)),
+                            labels=np.zeros(64, dtype=int))
+        assert monitor.snapshot()["prediction"]["psi"] > 1.0
+
+    def test_window_eviction_forgets_old_traffic(self, baseline):
+        monitor, _ = self._monitor(baseline, window=128)
+        rng = _rng(2)
+        for _ in range(2):
+            monitor.observe(5.0 + rng.normal(size=(64, 6)))
+        assert monitor.snapshot()["feature"]["psi_max"] > 0.25
+        # Flood the window with clean traffic: the shift must wash out.
+        for _ in range(4):
+            monitor.observe(rng.normal(size=(64, 6)))
+        assert monitor.snapshot()["feature"]["psi_max"] < 0.25
+        assert monitor.snapshot()["window"]["size"] == 128
+
+    def test_margin_and_saturation_streams(self, baseline):
+        monitor, registry = self._monitor(baseline)
+        rng = _rng(3)
+        sims = rng.normal(size=(64, 4))
+        encoded = np.sign(rng.normal(size=(64, 32)))
+        monitor.observe(rng.normal(size=(64, 6)),
+                        labels=np.argmax(sims, axis=1),
+                        similarities=sims, encoded=encoded)
+        assert registry.get("quality.margin").count == 64
+        assert registry.get("quality.confidence").count == 64
+        snap = monitor.snapshot()
+        assert snap["margin"]["live"]["count"] == 64
+        assert snap["saturation"] == pytest.approx(0.0)
+
+    def test_feature_count_mismatch_raises(self, baseline):
+        monitor, _ = self._monitor(baseline)
+        with pytest.raises(ValueError, match="columns"):
+            monitor.observe(np.zeros((4, 5)))
+
+    def test_reset_clears_window(self, baseline):
+        monitor, _ = self._monitor(baseline)
+        monitor.observe(5.0 + _rng(0).normal(size=(128, 6)))
+        monitor.reset()
+        snap = monitor.snapshot()
+        assert snap["samples"] == 0
+        assert snap["window"]["size"] == 0
+        assert snap["feature"]["psi_max"] == 0.0
+
+    def test_samples_counter_accumulates(self, baseline):
+        monitor, registry = self._monitor(baseline)
+        monitor.observe(_rng(0).normal(size=(10, 6)))
+        monitor.observe(_rng(1).normal(size=(15, 6)))
+        assert monitor.samples == 25
+        assert registry.get("quality.samples").value == 25
+
+    def test_single_row_observation(self, baseline):
+        monitor, _ = self._monitor(baseline, min_samples=1)
+        monitor.observe(np.zeros(6))  # 1-D row is promoted to (1, F)
+        assert monitor.snapshot()["window"]["size"] == 1
+
+    def test_describe_is_cheap_facts(self, baseline):
+        monitor, _ = self._monitor(baseline)
+        facts = monitor.describe()
+        assert facts["window"] == 256 and facts["samples"] == 0
