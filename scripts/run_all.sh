@@ -36,6 +36,11 @@ bash scripts/check_trace.sh
 # alerts within budget, clean traffic stays quiet, and monitors add
 # <5% to serve P99 (see scripts/check_quality.sh).
 bash scripts/check_quality.sh
+# Online learning: guarded /feedback shadow updates + gated atomic
+# promotion — label-shifted stream must recover >= 90% of clean accuracy,
+# poisoned streams must never promote, class-incremental arrival serves
+# with bit-exact parity for existing classes (see scripts/check_online.sh).
+bash scripts/check_online.sh
 # Docs/dashboards lint: every metric name registered in src/repro/ must
 # be documented in docs/OBSERVABILITY.md (and vice versa).
 python scripts/check_metric_names.py

@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # avoid an import cycle; the guard is duck-typed
     from ..reliability.guards import NumericsGuard
     from .callbacks import TrainerCallback
 
-__all__ = ["normalized_similarity", "MassTrainer"]
+__all__ = ["normalized_similarity", "clip_update_norms", "MassTrainer"]
 
 
 def normalized_similarity(class_matrix: np.ndarray,
@@ -44,6 +44,26 @@ def normalized_similarity(class_matrix: np.ndarray,
     and serving share (bit-for-bit).
     """
     return cosine_similarities(class_matrix, queries)
+
+
+def clip_update_norms(delta: np.ndarray, max_norm: float) -> np.ndarray:
+    """Row-wise L2 clip of an update matrix: ``(k, dim)`` → ``(k, dim)``.
+
+    Rows whose norm exceeds ``max_norm`` are rescaled onto the ball,
+    rows under the cap pass through untouched (bit-exact).  This is the
+    safety bound the online-learning path puts between untrusted
+    feedback and the class-hypervector matrix: one poisoned sample can
+    move each class hypervector at most ``max_norm``.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    delta = np.atleast_2d(np.asarray(delta, dtype=np.float64))
+    norms = np.linalg.norm(delta, axis=1, keepdims=True)
+    scale = np.where(norms > max_norm, max_norm / np.where(
+        norms > 0, norms, 1.0), 1.0)
+    if np.all(scale == 1.0):
+        return delta
+    return delta * scale
 
 
 class MassTrainer:
@@ -61,18 +81,28 @@ class MassTrainer:
         every batch's inputs and update matrix are vetted *before* they
         touch ``class_matrix``; bad batches are skipped (or raise,
         depending on the guard's policy) so the model is never corrupted.
+    max_update_norm:
+        Optional per-class L2 cap on each applied update (after the
+        ``λ/√dim`` scaling).  ``None`` (the default) applies updates
+        unclipped — bit-exact with the historical behaviour.  The
+        online-learning serving path sets this so one feedback sample
+        has bounded influence on the model.
     """
 
     def __init__(self, num_classes: int, dim: int, lr: float = 0.05,
-                 guard: Optional["NumericsGuard"] = None):
+                 guard: Optional["NumericsGuard"] = None,
+                 max_update_norm: Optional[float] = None):
         if num_classes < 2:
             raise ValueError("need at least two classes")
         if dim <= 0:
             raise ValueError("dim must be positive")
+        if max_update_norm is not None and max_update_norm <= 0:
+            raise ValueError("max_update_norm must be positive")
         self.num_classes = num_classes
         self.dim = dim
         self.lr = lr
         self.guard = guard
+        self.max_update_norm = max_update_norm
         self.class_matrix = np.zeros((num_classes, dim))
 
     # ------------------------------------------------------------------
@@ -162,10 +192,37 @@ class MassTrainer:
                 return False
             scale = self.lr / np.sqrt(self.dim)
             delta = scale * update.T @ hypervectors
+            if self.max_update_norm is not None:
+                delta = clip_update_norms(delta, self.max_update_norm)
             registry.observe("train.update_norm",
                              float(np.linalg.norm(delta)))
             self.class_matrix += delta
         return True
+
+    # ------------------------------------------------------------------
+    def add_class(self, init_hv: Optional[np.ndarray] = None) -> int:
+        """Grow the model by one class; returns the new class index.
+
+        Class-incremental arrival (ImageHD-style continual learning): a
+        previously unseen label gets a fresh class-hypervector row with
+        **no retrain** of the existing classes.  ``init_hv`` bootstraps
+        the row (typically the first encoded feedback hypervector of
+        the new class — a one-shot centroid); ``None`` starts from
+        zeros and lets subsequent updates fill it in.
+        """
+        if init_hv is None:
+            row = np.zeros((1, self.dim))
+        else:
+            row = np.atleast_2d(np.asarray(init_hv, dtype=np.float64))
+            if row.shape != (1, self.dim):
+                raise ValueError(
+                    f"init_hv must have shape (1, {self.dim}) or "
+                    f"({self.dim},), got {row.shape}")
+            if not np.isfinite(row).all():
+                raise ValueError("init_hv contains NaN/Inf")
+        self.class_matrix = np.vstack([self.class_matrix, row])
+        self.num_classes += 1
+        return self.num_classes - 1
 
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:

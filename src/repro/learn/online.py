@@ -16,22 +16,40 @@ an ablatable baseline for the retraining-rule design choice.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from .mass import MassTrainer
 
+if TYPE_CHECKING:  # avoid an import cycle; the guard is duck-typed
+    from ..reliability.guards import NumericsGuard
+
 __all__ = ["OnlineHDTrainer"]
 
 
 class OnlineHDTrainer(MassTrainer):
-    """Adaptive two-class update rule (OnlineHD)."""
+    """Adaptive two-class update rule (OnlineHD).
+
+    ``reinforce_correct`` additionally nudges the correct class
+    hypervector toward every *correctly* classified sample, scaled by
+    ``reinforce_rate × (1 − δ_y)`` — a small consolidation term that
+    keeps confident classes confident without the full MASS dense
+    update.  ``guard`` / ``max_update_norm`` ride through to
+    :class:`MassTrainer` (the online serving path sets both).
+    """
 
     def __init__(self, num_classes: int, dim: int, lr: float = 0.05,
-                 reinforce_correct: bool = False):
-        super().__init__(num_classes, dim, lr)
+                 reinforce_correct: bool = False,
+                 reinforce_rate: float = 0.1,
+                 guard: Optional["NumericsGuard"] = None,
+                 max_update_norm: Optional[float] = None):
+        super().__init__(num_classes, dim, lr, guard=guard,
+                         max_update_norm=max_update_norm)
+        if reinforce_rate < 0:
+            raise ValueError("reinforce_rate must be >= 0")
         self.reinforce_correct = reinforce_correct
+        self.reinforce_rate = float(reinforce_rate)
 
     def compute_update(self, hypervectors: np.ndarray, labels: np.ndarray,
                        **_unused) -> np.ndarray:
@@ -50,5 +68,6 @@ class OnlineHDTrainer(MassTrainer):
         if self.reinforce_correct:
             right = ~wrong
             update[rows[right], labels[right]] = \
-                0.1 * (1.0 - similarities[rows[right], labels[right]])
+                self.reinforce_rate * \
+                (1.0 - similarities[rows[right], labels[right]])
         return update

@@ -1,0 +1,367 @@
+"""Shadow copy of the live class-hypervector matrix + guarded updates.
+
+The live :class:`~repro.serve.engine.InferenceEngine` stays frozen; all
+feedback learning happens on a :class:`ShadowModel` — a float64 copy of
+the engine's class matrix driven by the existing trainer rules
+(:class:`~repro.learn.mass.MassTrainer` dense MASS update or the
+:class:`~repro.learn.online.OnlineHDTrainer` sparse two-class rule).
+Every mutation path is defended:
+
+* a :class:`~repro.reliability.NumericsGuard` vets each encoded feedback
+  hypervector before it can touch the matrix (and the trainer re-vets
+  the computed update matrix);
+* per-class update norms are clipped to ``max_update_norm`` inside the
+  trainer (:func:`~repro.learn.mass.clip_update_norms`), bounding the
+  influence of any single feedback sample;
+* a token bucket caps the sustained update rate (``rate_limit_per_s``),
+  so a feedback flood degrades to 429s instead of model churn;
+* every ``holdout_every``-th accepted sample is *not* learned from —
+  it lands in a bounded validation ring that the promotion gate later
+  scores both the shadow and the live matrix on.  The holdout is taken
+  before the update, so validation data is never trained on.
+
+Class-incremental arrival: feedback whose label equals the current
+``num_classes`` allocates a fresh class-hypervector row with **no
+retrain** — the first sample seeds the row one-shot
+(:meth:`~repro.learn.mass.MassTrainer.add_class`), later samples of the
+same class are *bundled into that row only* (centroid accumulation),
+never running the dense update, so pre-existing class rows stay
+bit-exact until ordinary known-class feedback touches them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..learn.mass import MassTrainer, normalized_similarity
+from ..learn.online import OnlineHDTrainer
+from ..reliability.guards import NumericsGuard
+from ..telemetry import clock, get_registry, matrix_health
+
+__all__ = ["ShadowModel", "FeedbackError", "RULES"]
+
+RULES = ("mass", "online")
+
+
+class FeedbackError(ValueError):
+    """Raised for malformed feedback (bad label, wrong shape, ...)."""
+
+
+class _TokenBucket:
+    """Minimal thread-safe token bucket (``rate`` tokens/s, burst cap)."""
+
+    def __init__(self, rate_per_s: float, burst: Optional[float] = None):
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self.rate = float(rate_per_s)
+        self.capacity = float(burst) if burst else max(1.0, self.rate)
+        if self.capacity < 1.0:
+            raise ValueError("burst must be >= 1")
+        self._tokens = self.capacity
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        with self._lock:
+            now = clock()
+            self._tokens = min(self.capacity,
+                               self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+class ShadowModel:
+    """A guarded, rate-limited learning copy of the live class matrix.
+
+    Parameters
+    ----------
+    class_matrix:
+        The live engine's class-hypervector matrix ``(k, dim)``; copied,
+        never aliased.
+    rule:
+        ``"mass"`` (dense similarity-difference update) or ``"online"``
+        (sparse two-class OnlineHD rule — better retention under label
+        shift since untouched classes never move).
+    lr, max_update_norm:
+        Trainer learning rate and the per-class L2 cap on each applied
+        update.
+    rate_limit_per_s, rate_limit_burst:
+        Token-bucket admission for feedback; ``None`` disables limiting.
+    holdout_every:
+        Every N-th admitted sample goes to the validation ring instead
+        of the trainer (``0``/``None`` disables holdout).
+    validation_capacity:
+        Ring size; oldest held-out samples are overwritten.
+    max_new_classes:
+        Cap on class-incremental growth per generation.
+    guard:
+        :class:`~repro.reliability.NumericsGuard` (shared with the
+        trainer).  Defaults to ``policy="skip_batch"`` so poisoned
+        payloads are rejected, not fatal.
+    """
+
+    def __init__(self, class_matrix: np.ndarray, rule: str = "mass",
+                 lr: float = 0.05, max_update_norm: float = 1.0,
+                 rate_limit_per_s: Optional[float] = None,
+                 rate_limit_burst: Optional[float] = None,
+                 holdout_every: int = 8, validation_capacity: int = 512,
+                 max_new_classes: int = 8,
+                 guard: Optional[NumericsGuard] = None,
+                 sat_factor: float = 3.0):
+        if rule not in RULES:
+            raise ValueError(f"unknown rule {rule!r}; expected one of "
+                             f"{RULES}")
+        if holdout_every < 0:
+            raise ValueError("holdout_every must be >= 0")
+        if validation_capacity <= 0:
+            raise ValueError("validation_capacity must be positive")
+        if max_new_classes < 0:
+            raise ValueError("max_new_classes must be >= 0")
+        self.rule = rule
+        self.lr = float(lr)
+        self.max_update_norm = (float(max_update_norm)
+                                if max_update_norm else None)
+        self.holdout_every = int(holdout_every)
+        self.validation_capacity = int(validation_capacity)
+        self.max_new_classes = int(max_new_classes)
+        self.sat_factor = float(sat_factor)
+        self.guard = guard if guard is not None else NumericsGuard(
+            policy="skip_batch", max_abs=1e9, name="online")
+        self._bucket = (_TokenBucket(rate_limit_per_s, rate_limit_burst)
+                        if rate_limit_per_s else None)
+        self._rate_limit_per_s = rate_limit_per_s
+        self._lock = threading.RLock()
+        self._rebase(np.asarray(class_matrix, dtype=np.float64))
+
+    # -- lifecycle -----------------------------------------------------
+    def _rebase(self, base: np.ndarray) -> None:
+        base = np.atleast_2d(np.asarray(base, dtype=np.float64))
+        self.base = base.copy()
+        self.base_classes = int(base.shape[0])
+        self.dim = int(base.shape[1])
+        if self.rule == "online":
+            trainer: MassTrainer = OnlineHDTrainer(
+                self.base_classes, self.dim, lr=self.lr,
+                reinforce_correct=True, guard=self.guard,
+                max_update_norm=self.max_update_norm)
+        else:
+            trainer = MassTrainer(
+                self.base_classes, self.dim, lr=self.lr, guard=self.guard,
+                max_update_norm=self.max_update_norm)
+        trainer.class_matrix = base.copy()
+        self.trainer = trainer
+        # Per-new-class bundle counts: index -> samples accumulated.
+        self._new_class_counts: Dict[int, int] = {}
+        self.generation_feedback = 0
+        self.applied = 0
+        self.held_out = 0
+        self.rejected = 0
+        self.rate_limited = 0
+        self._ring_hvs = np.zeros((self.validation_capacity, self.dim))
+        self._ring_labels = np.full(self.validation_capacity, -1,
+                                    dtype=np.int64)
+        self._ring_pos = 0
+        self._ring_size = 0
+
+    def reset_to(self, class_matrix: np.ndarray) -> None:
+        """Rebase onto a newly promoted (or externally reloaded) matrix.
+
+        Clears the validation ring and per-generation counters: held-out
+        samples already informed the promotion decision, and re-scoring
+        the next generation on them would double-count.
+        """
+        with self._lock:
+            self._rebase(np.asarray(class_matrix, dtype=np.float64))
+
+    # -- properties ----------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The current shadow class matrix (live reference, not a copy)."""
+        return self.trainer.class_matrix
+
+    @property
+    def num_classes(self) -> int:
+        return self.trainer.num_classes
+
+    @property
+    def classes_added(self) -> int:
+        return self.trainer.num_classes - self.base_classes
+
+    def snapshot(self) -> np.ndarray:
+        """Consistent copy of the shadow matrix (for export)."""
+        with self._lock:
+            return self.trainer.class_matrix.copy()
+
+    # -- feedback ingestion --------------------------------------------
+    def ingest(self, encoded: np.ndarray, label: int) -> str:
+        """Apply one labelled feedback hypervector to the shadow.
+
+        Returns one of ``"applied"``, ``"new_class"``, ``"held_out"``,
+        ``"rate_limited"``, ``"rejected"`` (guard veto).  Raises
+        :class:`FeedbackError` for labels outside ``[0, num_classes]``
+        or beyond the ``max_new_classes`` growth budget.
+        """
+        registry = get_registry()
+        encoded = np.atleast_2d(np.asarray(encoded, dtype=np.float64))
+        if encoded.shape != (1, self.dim):
+            raise FeedbackError(
+                f"encoded hypervector must have shape (1, {self.dim}) "
+                f"or ({self.dim},), got {encoded.shape}")
+        label = int(label)
+        with self._lock:
+            k = self.trainer.num_classes
+            if label < 0 or label > k:
+                raise FeedbackError(
+                    f"label {label} outside [0, {k}] — new classes must "
+                    f"arrive densely (next unseen label is {k})")
+            if label == k and self.classes_added >= self.max_new_classes:
+                raise FeedbackError(
+                    f"class growth budget exhausted "
+                    f"({self.max_new_classes} new classes this "
+                    f"generation)")
+        if self._bucket is not None and not self._bucket.allow():
+            with self._lock:
+                self.rate_limited += 1
+            registry.inc("online.feedback.rate_limited")
+            return "rate_limited"
+        if not self.guard.ok("online.feedback", encoded):
+            with self._lock:
+                self.rejected += 1
+            registry.inc("online.feedback.rejected")
+            return "rejected"
+        with self._lock:
+            self.generation_feedback += 1
+            if (self.holdout_every
+                    and self.generation_feedback % self.holdout_every == 0):
+                self._ring_put(encoded[0], label)
+                self.held_out += 1
+                registry.inc("online.feedback.held_out")
+                registry.set_gauge("online.validation.size",
+                                   self._ring_size)
+                return "held_out"
+            before = self.trainer.class_matrix.copy()
+            if label >= self.base_classes:
+                status = self._ingest_new_class(encoded, label)
+            else:
+                applied = self.trainer.step(encoded, np.array([label]))
+                if not applied:
+                    self.rejected += 1
+                    registry.inc("online.feedback.rejected")
+                    return "rejected"
+                status = "applied"
+            self.applied += 1
+            after = self.trainer.class_matrix
+            shared = min(before.shape[0], after.shape[0])
+            moved = float(np.linalg.norm(after[:shared] - before[:shared]))
+            if after.shape[0] > shared:  # class growth: count the new row
+                moved = float(np.hypot(moved,
+                                       np.linalg.norm(after[shared:])))
+            registry.observe("online.update_norm", moved)
+            registry.inc("online.feedback.applied")
+            registry.set_gauge("online.shadow.classes",
+                               self.trainer.num_classes)
+            return status
+
+    def _ingest_new_class(self, encoded: np.ndarray, label: int) -> str:
+        """Class-incremental path: seed or bundle into the *new row only*.
+
+        Never runs the dense trainer update, so rows ``< base_classes``
+        are untouched — the bit-exact-parity guarantee for pre-existing
+        classes that check_online.py asserts.
+        """
+        registry = get_registry()
+        if label == self.trainer.num_classes:
+            self.trainer.add_class(encoded)
+            self._new_class_counts[label] = 1
+            registry.inc("online.classes_added")
+            return "new_class"
+        # Subsequent samples: running centroid accumulation on the row.
+        self.trainer.class_matrix[label] += encoded[0]
+        self._new_class_counts[label] = \
+            self._new_class_counts.get(label, 0) + 1
+        return "applied"
+
+    # -- validation ring -----------------------------------------------
+    def _ring_put(self, hv: np.ndarray, label: int) -> None:
+        self._ring_hvs[self._ring_pos] = hv
+        self._ring_labels[self._ring_pos] = label
+        self._ring_pos = (self._ring_pos + 1) % self.validation_capacity
+        self._ring_size = min(self._ring_size + 1,
+                              self.validation_capacity)
+
+    def validation_set(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Copies of the held-back hypervectors and labels."""
+        with self._lock:
+            n = self._ring_size
+            return self._ring_hvs[:n].copy(), self._ring_labels[:n].copy()
+
+    def evaluate(self, live_matrix: np.ndarray) -> Dict[str, object]:
+        """Score shadow vs live on the validation ring.
+
+        Labels the live matrix has no row for (class-incremental
+        arrivals) count as misclassified for the live model — that is
+        the accuracy a client actually observes today.
+        """
+        hvs, labels = self.validation_set()
+        with self._lock:
+            shadow = self.trainer.class_matrix.copy()
+        live = np.atleast_2d(np.asarray(live_matrix, dtype=np.float64))
+        result: Dict[str, object] = {"size": int(len(labels))}
+        if not len(labels):
+            result["shadow_accuracy"] = None
+            result["live_accuracy"] = None
+            return result
+        shadow_pred = normalized_similarity(shadow, hvs).argmax(axis=1)
+        live_pred = normalized_similarity(live, hvs).argmax(axis=1)
+        result["shadow_accuracy"] = float((shadow_pred == labels).mean())
+        result["live_accuracy"] = float((live_pred == labels).mean())
+        registry = get_registry()
+        registry.set_gauge("online.shadow.accuracy",
+                           result["shadow_accuracy"])
+        registry.set_gauge("online.live.accuracy",
+                           result["live_accuracy"])
+        return result
+
+    def health(self) -> Dict[str, object]:
+        """Matrix-health view of the shadow (drift vs the rebased base)."""
+        with self._lock:
+            shadow = self.trainer.class_matrix.copy()
+            base = self.base
+        health = matrix_health(shadow, reference=base,
+                               sat_factor=self.sat_factor)
+        drift = health.get("drift")
+        if isinstance(drift, dict):
+            relative = drift.get("relative")
+            if isinstance(relative, float) and np.isfinite(relative):
+                get_registry().set_gauge("online.shadow.drift", relative)
+        return health
+
+    # -- status --------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "rule": self.rule,
+                "lr": self.lr,
+                "max_update_norm": self.max_update_norm,
+                "rate_limit_per_s": self._rate_limit_per_s,
+                "holdout_every": self.holdout_every,
+                "base_classes": self.base_classes,
+                "classes": self.trainer.num_classes,
+                "classes_added": self.classes_added,
+                "dim": self.dim,
+                "feedback": {
+                    "seen": self.generation_feedback,
+                    "applied": self.applied,
+                    "held_out": self.held_out,
+                    "rejected": self.rejected,
+                    "rate_limited": self.rate_limited,
+                },
+                "validation_size": self._ring_size,
+                "guard": dict(self.guard.counts),
+            }

@@ -26,6 +26,14 @@ MicroBatcher / LoadShedder / engine knobs::
     quality = true           # omit: auto-on when the bundle has a baseline
     quality_window = 512
 
+    [online]
+    rule = "online"          # "mass" (dense) or "online" (sparse)
+    max_update_norm = 1.0    # per-class L2 cap per feedback sample
+    rate_limit_per_s = 50.0  # feedback admission (token bucket)
+    holdout_every = 8        # every Nth sample → validation ring
+    promote_every = 64       # gate evaluation cadence
+    min_accuracy_gain = 0.01 # shadow must beat live by this much
+
     [alerts]
     interval_s = 1.0         # background evaluation period
 
@@ -59,6 +67,7 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from ..online.learner import ONLINE_OPTION_KEYS
 from ..telemetry import (enable_request_tracing, load_alert_rules,
                          tracing_env_options)
 from .bundle import BundleError, ModelBundle
@@ -77,14 +86,18 @@ _BATCHER_KEYS = ("max_batch_size", "max_latency_ms", "workers",
 _ENGINE_KEYS = ("cache_size", "use_packed", "build_extractor", "selfcheck",
                 "quality", "quality_window")
 _ALERT_KEYS = ("interval_s", "rules")
+_ONLINE_KEYS = ONLINE_OPTION_KEYS
 
 
 def load_config(path: str) -> Dict[str, Any]:
     """Read a TOML config file into a flat ``{key: value}`` dict.
 
     Accepts both sectioned (``[server]`` / ``[batcher]`` / ``[engine]``
-    / ``[alerts]``) and flat layouts; unknown keys raise so typos fail
-    loudly instead of silently serving with defaults.  The ``[alerts]``
+    / ``[alerts]`` / ``[online]``) and flat layouts; unknown keys raise
+    so typos fail loudly instead of silently serving with defaults.
+    The ``[online]`` section lands verbatim as ``online_options`` (the
+    :class:`~repro.online.OnlineLearner` kwargs — enables ``POST
+    /feedback`` continual learning).  The ``[alerts]``
     section is parsed through
     :func:`~repro.telemetry.alerts.load_alert_rules` (so a malformed
     rule also fails at startup) and lands as ``alert_rules`` /
@@ -108,12 +121,21 @@ def load_config(path: str) -> Dict[str, Any]:
             if "interval_s" in value:
                 flat["alert_interval_s"] = float(value["interval_s"])
             continue
+        if key == "online":
+            if not isinstance(value, dict):
+                raise ValueError(f"[online] must be a table in {path!r}")
+            for sub in value:
+                if sub not in _ONLINE_KEYS:
+                    raise ValueError(
+                        f"unknown config key online.{sub} in {path!r}")
+            flat["online_options"] = dict(value)
+            continue
         if isinstance(value, dict):
             if key not in ("server", "batcher", "engine"):
                 raise ValueError(
                     f"unknown config section [{key}] in {path!r}; "
-                    "expected [server], [batcher], [engine], or "
-                    "[alerts]")
+                    "expected [server], [batcher], [engine], "
+                    "[alerts], or [online]")
             for sub, subvalue in value.items():
                 if sub not in known:
                     raise ValueError(
@@ -243,6 +265,7 @@ def build_server(args: argparse.Namespace) -> ModelServer:
         chaos=True if getattr(args, "chaos", False) else None,
         alert_rules=config.get("alert_rules"),
         alert_interval_s=float(config.get("alert_interval_s", 1.0)),
+        online_options=config.get("online_options"),
     )
 
 

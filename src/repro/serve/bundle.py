@@ -27,6 +27,7 @@ answers a request.
 
 from __future__ import annotations
 
+import copy
 import time
 from typing import Any, Dict, List, Optional
 
@@ -232,6 +233,108 @@ class ModelBundle:
             num_classes=int(pipeline.num_classes),
             similarities=np.asarray(sims), n_bins=n_bins)
         return baseline.to_dict()
+
+    # ------------------------------------------------------------------
+    # Online promotion (shadow → live derivation)
+    # ------------------------------------------------------------------
+    def promoted(self, class_matrix: np.ndarray,
+                 generation: int = 1,
+                 feedback_count: int = 0,
+                 class_priors: Optional[np.ndarray] = None,
+                 extra: Optional[Dict[str, Any]] = None) -> "ModelBundle":
+        """Derive a version-bumped child bundle with a new class matrix.
+
+        The online-learning promotion path: everything except the class
+        hypervectors (extractor, manifold, encoder, scaler, feature
+        sketches) is inherited from this bundle, the ``classes`` payload
+        is replaced with the shadow matrix, and the provenance gains an
+        ``info["online"]`` block plus a *new* config fingerprint (so
+        ``/predict`` responses and reload summaries distinguish the
+        generations).  The matrix may have **more rows** than the
+        parent — class-incremental arrival — but never fewer, and the
+        dimensionality must match.
+
+        For a ``binarized`` parent the new matrix is re-quantized with
+        :func:`~repro.hd.hypervector.hard_quantize` so the packed
+        XOR-popcount path stays available; rows that were not touched
+        by feedback stay bit-exact (``hard_quantize`` is the identity
+        on ±1 rows).
+
+        ``class_priors`` recomputes the quality-baseline class priors
+        (required reading for class-incremental growth: the frozen
+        training priors give a brand-new class zero mass, which would
+        read as permanent prediction skew on ``/driftz``).  When the
+        parent has a baseline and the label space grew, priors become
+        **mandatory** — refusing to export is better than exporting a
+        baseline that always fires.
+        """
+        classes = np.atleast_2d(np.asarray(class_matrix,
+                                           dtype=np.float64))
+        parent_k = int(self.info["num_classes"])
+        dim = int(self.info["dim"])
+        if classes.shape[1] != dim:
+            raise BundleError(
+                f"promoted class matrix has dim {classes.shape[1]}, "
+                f"bundle encodes into dim {dim}")
+        if classes.shape[0] < parent_k:
+            raise BundleError(
+                f"promoted class matrix has {classes.shape[0]} classes, "
+                f"fewer than the parent's {parent_k} — class removal is "
+                "not a promotion")
+        if not np.isfinite(classes).all():
+            raise BundleError("promoted class matrix contains NaN/Inf")
+        if self.info.get("binarized"):
+            classes = hard_quantize(classes)
+
+        arrays = dict(self.arrays)
+        # Drop any int8-quantized class payload: the promoted matrix is
+        # stored as the authoritative float (or re-binarized) array.
+        arrays.pop("classes.q", None)
+        arrays.pop("classes.scale", None)
+        arrays["classes"] = classes
+        info = copy.deepcopy(self.info)
+        info["num_classes"] = int(classes.shape[0])
+
+        baseline_dict = info.get("quality_baseline")
+        if class_priors is not None:
+            if baseline_dict is None:
+                raise BundleError(
+                    "class_priors given but the parent bundle carries "
+                    "no quality_baseline section")
+            from ..telemetry.quality import QualityBaseline
+            baseline = QualityBaseline.from_dict(baseline_dict)
+            info["quality_baseline"] = \
+                baseline.with_class_priors(class_priors).to_dict()
+        elif baseline_dict is not None \
+                and classes.shape[0] != parent_k:
+            raise BundleError(
+                "class-incremental promotion of a baselined bundle "
+                "requires recomputed class_priors — the training "
+                "priors give the new class zero mass and /driftz "
+                "prediction skew would fire permanently")
+
+        parent_fingerprint = info.get("config_fingerprint")
+        online = {
+            "generation": int(generation),
+            "parent_fingerprint": parent_fingerprint,
+            "feedback_count": int(feedback_count),
+            "promoted_at": float(time.time()),
+            "classes_added": int(classes.shape[0] - parent_k),
+        }
+        if extra:
+            online.update(dict(extra))
+        info["online"] = online
+        info["created_at"] = float(time.time())
+        info["config_fingerprint"] = config_fingerprint({
+            "config": info.get("config", {}),
+            "online_generation": int(generation),
+            "parent": parent_fingerprint,
+            "num_classes": int(classes.shape[0]),
+        })
+        info["arrays"] = sorted(arrays)
+        child = ModelBundle(arrays, info)
+        child.validate()
+        return child
 
     # ------------------------------------------------------------------
     # Serialization

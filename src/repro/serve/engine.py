@@ -185,6 +185,18 @@ class InferenceEngine:
         """Verify + load a bundle archive and build an engine on it."""
         return cls(ModelBundle.load(path, verify=True), **kwargs)
 
+    @property
+    def class_matrix(self) -> np.ndarray:
+        """The frozen class-hypervector matrix this engine serves.
+
+        Public read access for the online-learning layer, which seeds
+        its shadow copy from (and evaluates the live model against)
+        exactly the matrix the classify stage answers with.  Callers
+        must treat it as immutable — the frozen stage caches the class
+        norms at construction.
+        """
+        return self._classify.class_matrix
+
     # -- packed-stage plumbing (kept for API/test compatibility) -------
     @property
     def _class_matrix(self) -> np.ndarray:

@@ -571,13 +571,35 @@ class Router:
                          ) -> Tuple[int, Dict[str, Any]]:
         """``POST /reload`` fan-out to every healthy worker.
 
-        Answers 200 only when *every* reached worker accepted the
-        reload; any 409/connection failure yields 409 with per-worker
-        outcomes (workers that already swapped keep the new bundle —
-        the caller decides whether to retry or roll back).
+        By default answers 200 only when *every* reached worker accepted
+        the reload; any 409/connection failure yields 409 with
+        per-worker outcomes (workers that already swapped keep the new
+        bundle — the caller decides whether to retry or roll back).
+
+        A JSON body with ``"partial": "allow"`` switches to
+        best-effort semantics: as long as *at least one* worker accepts,
+        the fan-out answers **207** (Multi-Status) with the same
+        per-worker breakdown, and only an all-workers failure is a 409.
+        This is what a rolling online-learning promotion wants — a
+        single wedged worker should not veto the fleet; it catches up on
+        its next reload.  The ``partial`` key is stripped before
+        forwarding (workers would reject an unknown key).
         """
+        partial = False
+        if body.strip():
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = None  # let the workers produce the 400
+            if isinstance(payload, dict) and "partial" in payload:
+                mode = payload.pop("partial")
+                if mode not in ("allow", "deny"):
+                    return 400, {"error": f"partial must be 'allow' or "
+                                          f"'deny', got {mode!r}"}
+                partial = mode == "allow"
+                body = json.dumps(payload).encode("utf-8")
         results: Dict[str, Any] = {}
-        ok = True
+        succeeded = failed = 0
         for worker_id, address in self.fleet.healthy_workers():
             client = self._client(worker_id, address)
             try:
@@ -589,15 +611,28 @@ class Router:
                 results[worker_id] = {"status": status, **(
                     payload if isinstance(payload, dict) else
                     {"body": payload})}
-                ok = ok and status == 200
+                if status == 200:
+                    succeeded += 1
+                else:
+                    failed += 1
             except Exception as exc:
                 results[worker_id] = {
                     "status": None,
                     "error": f"{type(exc).__name__}: {exc}"}
-                ok = False
-        get_registry().inc("fleet.router.reload."
-                           + ("success" if ok else "rejected"))
-        return (200 if ok else 409), {"reloaded": ok, "workers": results}
+                failed += 1
+        ok = failed == 0 and bool(results)
+        registry = get_registry()
+        if ok:
+            registry.inc("fleet.router.reload.success")
+            http_status = 200
+        elif partial and succeeded:
+            registry.inc("fleet.router.reload.partial")
+            http_status = 207
+        else:
+            registry.inc("fleet.router.reload.rejected")
+            http_status = 409
+        return http_status, {"reloaded": ok, "workers": results,
+                             "succeeded": succeeded, "failed": failed}
 
     # ------------------------------------------------------------------
     # Model-quality observability (/driftz, /alertz)

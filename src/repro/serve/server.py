@@ -186,6 +186,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, app.driftz())
         elif url.path == "/alertz":
             self._send_json(200, app.alertz())
+        elif url.path == "/onlinez":
+            self._send_json(200, app.onlinez())
         else:
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
@@ -194,6 +196,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._begin_request()
         if self.path == "/reload":
             self._do_reload(app)
+            return
+        if self.path == "/feedback":
+            self._do_feedback(app)
+            return
+        if self.path == "/promote":
+            self._do_promote(app)
             return
         if self.path == "/slow" and app.chaos:
             self._do_slow(app)
@@ -260,6 +268,10 @@ class _Handler(BaseHTTPRequestHandler):
                 response = (500, {"error": error_text,
                                   "request_id": trace.trace_id}, None)
             else:
+                if app.online is not None:
+                    # Retain single-row request features so feedback can
+                    # reference them by request_id instead of re-upload.
+                    app.online.remember(trace.trace_id, features)
                 response = (200, {
                     "labels": [int(label) for label in labels],
                     "model": models[0] if len(models) == 1 else models,
@@ -311,6 +323,64 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(409, {"error": str(exc), "reloaded": False})
         else:
             self._send_json(200, info)
+
+    def _do_feedback(self, app: "ModelServer") -> None:
+        """``POST /feedback``: guarded shadow-model update from a label.
+
+        Body: ``{"label": k, "features": [...]}`` or ``{"label": k,
+        "request_id": "<id from /predict>"}``.  Updates only the
+        *shadow* copy — the live engine is untouched until a promotion
+        passes every gate.  404 when online learning is disabled or the
+        request_id fell out of the window, 422 when the numerics guard
+        vetoes the payload, 429 when rate-limited.
+        """
+        registry = get_registry()
+        registry.inc("serve.feedback.requests")
+        if app.online is None:
+            self._send_json(404, {"error": "online learning is not "
+                                           "enabled on this server"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("feedback body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            registry.inc("serve.feedback.bad_request")
+            self._send_json(400, {"error": f"invalid feedback body: "
+                                           f"{exc}"})
+            return
+        try:
+            status, body = app.online.feedback(payload)
+        except Exception as exc:  # defensive: keep the worker alive
+            registry.inc("serve.http.internal_error")
+            self._send_json(500, {"error":
+                                  f"{type(exc).__name__}: {exc}"})
+            return
+        if status == 400:
+            registry.inc("serve.feedback.bad_request")
+        headers = {"Retry-After": "1"} if status == 429 else None
+        self._send_json(status, body, headers=headers)
+
+    def _do_promote(self, app: "ModelServer") -> None:
+        """``POST /promote``: run the promotion gates right now.
+
+        Evaluation on demand — the gates still apply; this cannot force
+        an unqualified shadow into production.  Returns the full
+        decision record (also retained on ``/onlinez``).
+        """
+        if app.online is None:
+            self._send_json(404, {"error": "online learning is not "
+                                           "enabled on this server"})
+            return
+        try:
+            decision = app.online.try_promote()
+        except Exception as exc:  # defensive: keep the worker alive
+            get_registry().inc("serve.http.internal_error")
+            self._send_json(500, {"error":
+                                  f"{type(exc).__name__}: {exc}"})
+            return
+        self._send_json(200, decision)
 
     def _do_slow(self, app: "ModelServer") -> None:
         """``POST /slow`` (chaos builds): wedge the worker for a while."""
@@ -450,6 +520,15 @@ class ModelServer:
         ``/metrics``.  ``None``/empty disables alerting.
     alert_interval_s:
         Background evaluation period for the alert rules.
+    online_options:
+        Keyword arguments for an :class:`~repro.online.OnlineLearner`
+        riding this server (the ``[online]`` config section): enables
+        ``POST /feedback`` guarded shadow-model updates, ``GET
+        /onlinez``, and gated atomic promotion through ``POST
+        /promote`` / auto-promotion.  ``None`` (the default) disables
+        online learning entirely; ``{}`` enables it with defaults.  An
+        ``enabled = false`` key inside the dict also disables it (so a
+        config file can keep the section but switch it off).
     """
 
     def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
@@ -461,7 +540,8 @@ class ModelServer:
                  engine_options: Optional[Dict[str, Any]] = None,
                  chaos: Optional[bool] = None,
                  alert_rules: Optional[list] = None,
-                 alert_interval_s: float = 1.0):
+                 alert_interval_s: float = 1.0,
+                 online_options: Optional[Dict[str, Any]] = None):
         self.engine = engine
         self.bundle_path = bundle_path
         if chaos is None:
@@ -497,6 +577,15 @@ class ModelServer:
             max_latency_ms=max_latency_ms, workers=workers,
             shedder=self.shedder, default_timeout_s=timeout_s,
             model_label=model_label)
+        self.online = None
+        if online_options is not None:
+            opts = dict(online_options)
+            if opts.pop("enabled", True):
+                # Imported lazily: repro.online imports serve.bundle
+                # types through the learner, so a module-level import
+                # here would cycle.
+                from ..online import OnlineLearner
+                self.online = OnlineLearner(self, **opts)
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.app = self
         self._thread: Optional[threading.Thread] = None
@@ -648,6 +737,12 @@ class ModelServer:
             return {"enabled": False, "rules": [], "firing": []}
         self.alerts.evaluate()
         return self.alerts.snapshot()
+
+    def onlinez(self) -> Dict[str, Any]:
+        """``GET /onlinez`` body: online-learning status + last decision."""
+        if self.online is None:
+            return {"enabled": False}
+        return self.online.status()
 
     # ------------------------------------------------------------------
     # Hot reload

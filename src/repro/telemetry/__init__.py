@@ -59,7 +59,8 @@ from .alerts import (ALERT_KINDS, ALERT_STATES, AlertManager, AlertRule,
                      AlertRuleError, load_alert_rules)
 from .diagnostics import (DiagnosticsCallback, class_drift,
                           confusability_matrix, confusability_summary,
-                          margin_quantiles, saturation_fraction)
+                          margin_quantiles, matrix_health,
+                          saturation_fraction)
 from .exporters import (NONFINITE_KEY, collect_events, decode_non_finite,
                         encode_non_finite, export_jsonl, export_prometheus,
                         parse_prometheus, prometheus_text, read_jsonl,
@@ -131,6 +132,7 @@ __all__ = [
     # diagnostics
     "DiagnosticsCallback", "class_drift", "saturation_fraction",
     "confusability_matrix", "confusability_summary", "margin_quantiles",
+    "matrix_health",
     # quality (streaming drift monitors)
     "QualityBaseline", "DriftMonitor", "population_stability_index",
     "BASELINE_VERSION", "DEFAULT_BINS",

@@ -38,7 +38,7 @@ import numpy as np
 from .metrics import MetricsRegistry, get_registry
 
 __all__ = ["class_drift", "saturation_fraction", "confusability_matrix",
-           "confusability_summary", "margin_quantiles",
+           "confusability_summary", "margin_quantiles", "matrix_health",
            "DiagnosticsCallback"]
 
 
@@ -122,6 +122,40 @@ def confusability_summary(class_matrix: np.ndarray) -> Dict[str, object]:
         "off_diag_max": float(off[i, j]),
         "most_confusable": [int(i), int(j)],
     }
+
+
+def matrix_health(matrix: np.ndarray,
+                  reference: Optional[np.ndarray] = None,
+                  sat_factor: float = 3.0) -> Dict[str, object]:
+    """One-call health view of a class-hypervector matrix.
+
+    Bundles the three matrix-level diagnostics the online promotion
+    gate consumes — ``saturation_fraction``, ``confusability_summary``,
+    and (when ``reference`` is given and shape-compatible)
+    ``class_drift`` relative to it — into a single flat dict, so the
+    gate reads one structure instead of re-deriving the composition.
+    ``drift`` is ``None`` when no comparable reference exists (e.g.
+    the matrix grew a class since the reference was taken).
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    health: Dict[str, object] = {
+        "saturation_fraction": saturation_fraction(matrix, sat_factor),
+        "confusability": confusability_summary(matrix),
+        "classes": int(matrix.shape[0]),
+    }
+    drift = None
+    if reference is not None:
+        reference = np.atleast_2d(np.asarray(reference,
+                                             dtype=np.float64))
+        if reference.shape == matrix.shape:
+            drift = class_drift(reference, matrix)
+        elif reference.shape[1] == matrix.shape[1] \
+                and reference.shape[0] < matrix.shape[0]:
+            # Grown matrix: compare the shared class rows only.
+            drift = class_drift(reference,
+                                matrix[:reference.shape[0]])
+    health["drift"] = drift
+    return health
 
 
 def margin_quantiles(registry: Optional[MetricsRegistry] = None,

@@ -293,6 +293,32 @@ class QualityBaseline:
             margin=data.get("margin"), confidence=data.get("confidence"),
             n_samples=int(data.get("n_samples", 0)))
 
+    def with_class_priors(self, priors) -> "QualityBaseline":
+        """Copy of the baseline with **recomputed** class priors.
+
+        Class-incremental promotion grows the label space, and a newly
+        allocated class has zero mass in the frozen training priors —
+        left as-is, every prediction of the new class would read as
+        permanent label skew and ``quality.prediction.psi`` would fire
+        forever.  The promotion exporter therefore re-bases the priors
+        (typically from the shadow model's predictions on the feedback
+        validation ring) while keeping the feature sketches, which are
+        label-free and still valid.  ``priors`` may be counts or
+        proportions; they are normalized here.
+        """
+        priors = np.asarray(priors, dtype=np.float64).ravel()
+        if priors.size < 1:
+            raise ValueError("priors must be non-empty")
+        if not np.isfinite(priors).all() or (priors < 0).any():
+            raise ValueError("priors must be finite and non-negative")
+        total = float(priors.sum())
+        if total <= 0:
+            raise ValueError("priors must have positive mass")
+        return QualityBaseline(
+            self.feature_mean, self.feature_std, self.bin_edges,
+            self.expected, priors / total, margin=dict(self.margin),
+            confidence=dict(self.confidence), n_samples=self.n_samples)
+
     def describe(self) -> Dict[str, Any]:
         """Summary facts (healthz / driftz headers)."""
         return {"version": BASELINE_VERSION,
