@@ -37,6 +37,15 @@ Usage (fresh checkout, CPU, well under a minute)::
     python scripts/bench_gate.py                    # all three pipelines
     python scripts/bench_gate.py --pipelines nshd --hd-epochs 5
     python scripts/bench_gate.py --inject-slowdown encode:3.0  # must fail
+    python scripts/bench_gate.py --compile          # compiler A/B gate
+
+``--compile`` adds a graph-compiler A/B run (``kind="compile"``): the
+re-fit/A-B-eval workflow (repeated evaluation of the same batch) is
+timed interpreted-cold vs with the digest-keyed
+:class:`~repro.pipeline.StageCache` attached, and an exported bundle is
+served interpreted vs compiled (all fusion passes).  The cached path
+must be at least ``--min-compile-speedup`` (default 1.3×) faster — a
+hard floor on top of the usual median+MAD ledger gate.
 """
 
 import argparse
@@ -45,6 +54,8 @@ import os
 import sys
 import tempfile
 import time
+
+import numpy as np
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _SRC = os.path.join(REPO_ROOT, "src")
@@ -111,6 +122,16 @@ def parse_args(argv=None) -> argparse.Namespace:
                         metavar="STAGE:FACTOR",
                         help="test fixture: multiply one stage's measured "
                              "time before gating (record is NOT appended)")
+    parser.add_argument("--compile", action="store_true",
+                        help="add a graph-compiler A/B run (stage-cached "
+                             "eval + compiled serve engine vs interpreted"
+                             "), ledgered as kind=\"compile\"")
+    parser.add_argument("--compile-iters", type=int, default=3,
+                        help="evaluation repetitions per arm of the "
+                             "--compile A/B (default 3)")
+    parser.add_argument("--min-compile-speedup", type=float, default=1.3,
+                        help="hard floor on the stage-cached eval "
+                             "speedup (default 1.3)")
     parser.add_argument("--ingest-benchmark-json", default=None,
                         help="pytest-benchmark --benchmark-json output to "
                              "convert into ledger entries")
@@ -185,6 +206,91 @@ def run_pipeline(name: str, args: argparse.Namespace, data, model
         history=history, diagnostics=diag.summary())
 
 
+def run_compile_bench(args: argparse.Namespace, data, model):
+    """Graph-compiler A/B → a ``kind="compile"`` ledger record.
+
+    Trains one NSHD pipeline, then times the re-fit/A-B-eval workflow
+    (``--compile-iters`` evaluations of the same test batch) with and
+    without the digest-keyed stage cache, and an exported bundle served
+    interpreted vs compiled (all fusion passes).  Both compiled arms
+    must agree bit-exactly with their interpreted counterparts.
+    Returns ``(record, cached_speedup)``.
+    """
+    from repro.pipeline import StageCache  # noqa: E402 (lazy: --compile only)
+    from repro.serve import InferenceEngine, ModelBundle  # noqa: E402
+
+    x_tr, y_tr, x_te, y_te = data
+    telemetry.get_registry().reset()
+    telemetry.get_tracer().reset()
+    t0 = telemetry.clock()
+
+    pipeline = NSHD(model, layer_index=args.layer_index, dim=args.dim,
+                    reduced_features=args.reduced, seed=args.seed)
+    history = pipeline.fit(x_tr, y_tr, epochs=args.hd_epochs)
+    iters = max(1, int(args.compile_iters))
+
+    def timed(fn):
+        start = telemetry.clock()
+        for _ in range(iters):
+            fn()
+        return telemetry.clock() - start
+
+    # Arm 1: the A/B-eval workflow, interpreted-cold vs stage-cached.
+    baseline = np.asarray(pipeline.predict(x_te))
+    uncached_s = timed(lambda: pipeline.predict(x_te))
+    pipeline.set_stage_cache(StageCache())
+    cached_pred = np.asarray(pipeline.predict(x_te))
+    cached_s = timed(lambda: pipeline.predict(x_te))
+    cache_info = pipeline.stage_cache.info()
+    pipeline.set_stage_cache(None)
+    if not np.array_equal(cached_pred, baseline):
+        raise SystemExit("stage-cached predictions != uncached")
+    cached_speedup = uncached_s / max(cached_s, 1e-9)
+
+    # Arm 2: exported bundle served interpreted vs compiled.
+    raw = pipeline.extractor.extract(x_te)
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_path = os.path.join(tmp, "compile_bench.npz")
+        ModelBundle.from_pipeline(
+            pipeline, config={"gate": "bench_compile"}).save(bundle_path)
+        interpreted = InferenceEngine.from_path(bundle_path, cache_size=0,
+                                                passes="none")
+        compiled = InferenceEngine.from_path(bundle_path, cache_size=0,
+                                             passes="all")
+        if not np.array_equal(compiled.predict_features(raw),
+                              interpreted.predict_features(raw)):
+            raise SystemExit("compiled engine != interpreted engine")
+        interp_s = timed(lambda: interpreted.predict_features(raw))
+        compiled_s = timed(lambda: compiled.predict_features(raw))
+
+    test_acc = pipeline.accuracy(x_te, y_te)
+    wall_s = telemetry.clock() - t0
+    config = {
+        "pipeline": "nshd", "classes": args.classes, "train": args.train,
+        "test": args.test, "dim": args.dim, "reduced": args.reduced,
+        "cnn_epochs": args.cnn_epochs, "hd_epochs": args.hd_epochs,
+        "model": args.model, "width": args.width,
+        "layer_index": args.layer_index, "seed": args.seed,
+        "compile_iters": iters,
+    }
+    record = RunRecord.capture(
+        pipeline="nshd", kind="compile", config=config, seed=args.seed,
+        wall_s=wall_s, final_accuracy=history["train_acc"][-1],
+        test_accuracy=test_acc, history=history)
+    record.stage_times.update({
+        "eval_uncached": uncached_s, "eval_cached": cached_s,
+        "serve_interpreted": interp_s, "serve_compiled": compiled_s,
+    })
+    record.extra["compile"] = {
+        "cached_speedup": cached_speedup,
+        "serve_speedup": interp_s / max(compiled_s, 1e-9),
+        "stage_cache": cache_info,
+        "passes_applied": compiled.compile_passes,
+        "executor_plan": compiled.executor_plan,
+    }
+    return record, cached_speedup
+
+
 def ingest_benchmark_json(path: str, ledger: RunLedger, append: bool
                           ) -> list:
     """pytest-benchmark JSON → one ``kind="benchmark"`` record each."""
@@ -236,14 +342,14 @@ def main(argv=None) -> int:
 
     # Shared dataset + (optionally trained) teacher model for the runs.
     data = model = None
-    if names:
+    if names or args.compile:
         x_tr, y_tr, x_te, y_te = make_dataset(
             num_classes=args.classes, num_train=args.train,
             num_test=args.test, seed=args.seed)
         x_tr, mean, std = normalize_images(x_tr)
         x_te, _, _ = normalize_images(x_te, mean, std)
         data = (x_tr, y_tr, x_te, y_te)
-        if any(n in ("nshd", "baselinehd") for n in names):
+        if args.compile or any(n in ("nshd", "baselinehd") for n in names):
             model = create_model(args.model, num_classes=args.classes,
                                  width_mult=args.width, seed=args.seed)
             train_cnn(model, x_tr, y_tr, epochs=args.cnn_epochs,
@@ -277,6 +383,33 @@ def main(argv=None) -> int:
         stages = ", ".join(f"{k}={v:.3f}s"
                            for k, v in sorted(record.stage_times.items()))
         print(f"[{name}] test_acc={acc} wall={record.wall_s:.2f}s {stages}")
+
+    if args.compile:
+        record, speedup = run_compile_bench(args, data, model)
+        if not args.no_gate:
+            report = regress.gate_run(ledger, record)
+            reports.append(report)
+            markdown.append(report.to_markdown())
+            print(report.to_markdown())
+            print()
+            failed = failed or not report.passed
+        floor = float(args.min_compile_speedup)
+        if speedup < floor:
+            print(f"COMPILE GATE FAILED: stage-cached eval speedup "
+                  f"{speedup:.2f}x < required {floor:.2f}x",
+                  file=sys.stderr)
+            failed = True
+        if not args.no_append:
+            ledger.append(record)
+        records.append(record)
+        info = record.extra["compile"]
+        stages = ", ".join(
+            f"{k}={record.stage_times[k]:.3f}s" for k in
+            ("eval_uncached", "eval_cached", "serve_interpreted",
+             "serve_compiled"))
+        print(f"[compile] cached_speedup={speedup:.2f}x "
+              f"serve_speedup={info['serve_speedup']:.2f}x "
+              f"(floor {floor:.2f}x) {stages}")
 
     if args.ingest_benchmark_json:
         bench_records = ingest_benchmark_json(

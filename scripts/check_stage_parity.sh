@@ -9,7 +9,10 @@
 #   * serve round-trip: exported float bundle served by InferenceEngine
 #     == pipeline.predict, from raw features and from images;
 #   * packed round-trip: binarized bundle's XOR-popcount path == its own
-#     float path bit-exactly (same bipolar operands, same ranking).
+#     float path bit-exactly (same bipolar operands, same ranking);
+#   * compiled round-trip: the same bundles served through the graph
+#     compiler (all fusion passes + threaded encode + packed classify)
+#     predict bit-exactly what the interpreted engine predicts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -90,6 +93,34 @@ with tempfile.TemporaryDirectory() as tmp:
     np.testing.assert_array_equal(packed.predict_features(raw),
                                   floating.predict_features(raw))
     print("packed XOR-popcount path == float path on binarized bundle")
+
+    # 5. Compiled round-trip: run the gate twice — passes off
+    #    (interpreted, step 3 above) vs all fusion passes + threaded
+    #    encode executor (+ packed classify on the binarized bundle).
+    #    Predictions must stay bit-exact.
+    encode_name = next(n for n, s in zip(engine.graph.names,
+                                         engine.graph.stages)
+                       if getattr(s, "encoder_type", None) is not None)
+    compiled = InferenceEngine.from_path(
+        float_path, cache_size=0, passes="all",
+        executors={encode_name: "threaded"})
+    assert compiled.compile_passes, "no fusion pass applied"
+    assert compiled.executor_plan.get(encode_name) == "threaded", \
+        f"threaded encode not bound: {compiled.executor_plan}"
+    np.testing.assert_array_equal(compiled.predict_features(raw), labels)
+    np.testing.assert_array_equal(compiled.predict(x_te), labels)
+    print(f"compiled engine (passes={compiled.compile_passes}, "
+          f"executors={compiled.executor_plan}) == interpreted "
+          f"(bit-exact)")
+
+    compiled_packed = InferenceEngine.from_path(
+        packed_path, cache_size=0, passes="all", executors="auto")
+    assert compiled_packed.use_packed, \
+        "compiled binarized bundle did not select packed executor"
+    np.testing.assert_array_equal(compiled_packed.predict_features(raw),
+                                  packed.predict_features(raw))
+    print("compiled packed engine == interpreted packed engine "
+          "(bit-exact)")
 
 print("stage parity: OK")
 EOF

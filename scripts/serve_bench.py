@@ -26,6 +26,12 @@ against the rolling median+MAD baseline exactly like the training smoke
 runs (``scripts/check_regression.sh``).  ``--min-speedup`` turns the
 batched-vs-single ratio into an exit status for CI.
 
+``--compile`` repeats the single/batched phases on a **compiled**
+engine (all fusion passes; same bundle, same samples), asserts the
+predictions stay bit-exact, and ledgers the compiled-vs-interpreted
+delta as a second ``kind="compile"`` record gated against its own
+median+MAD baseline.
+
 By default the engine runs a **synthetic bundle** (random bipolar
 projection + class hypervectors, identity scaler): throughput is a
 function of shapes and dtypes, not weight values, and synthesizing
@@ -101,6 +107,10 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--float-path", action="store_true",
                         help="bench the float cosine path instead of the "
                              "bit-packed fast path")
+    parser.add_argument("--compile", action="store_true",
+                        help="also bench a compiled engine (all fusion "
+                             "passes) against the interpreted one and "
+                             "ledger the delta as kind=\"compile\"")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit nonzero unless batched/single "
                              "throughput ratio >= this")
@@ -491,6 +501,60 @@ def main(argv=None) -> int:
     if not args.no_append:
         ledger.append(record)
         print(f"\nappended serve record to {ledger.path}")
+
+    if args.compile:
+        # Compiled-vs-interpreted A/B on the same bundle + samples;
+        # the delta is its own ledgered series (kind="compile").
+        compiled = InferenceEngine(
+            bundle, use_packed=(False if args.float_path else None),
+            cache_size=0, build_extractor=False, passes="all")
+        compiled.predict_features(samples[: min(64, len(samples))])
+        if not np.array_equal(compiled.predict_features(samples),
+                              engine.predict_features(samples)):
+            print("COMPILE PARITY FAILED: compiled engine disagrees "
+                  "with interpreted", file=sys.stderr)
+            return 1
+        c_single = bench_single(compiled, samples)
+        c_batched = bench_batched(compiled, samples, args.batch)
+        delta_single = (single["throughput_rps"] /
+                        max(c_single["throughput_rps"], 1e-9))
+        delta_batched = (batched["throughput_rps"] /
+                         max(c_batched["throughput_rps"], 1e-9))
+        print(f"compiled    : single "
+              f"{c_single['throughput_rps']:>10.1f} req/s "
+              f"({1 / max(delta_single, 1e-9):.2f}x interpreted), "
+              f"batched {c_batched['throughput_rps']:>10.1f} req/s "
+              f"({1 / max(delta_batched, 1e-9):.2f}x interpreted) "
+              f"[passes={compiled.compile_passes}, "
+              f"executors={compiled.executor_plan}]")
+        compile_record = RunRecord.capture(
+            pipeline="serve", kind="compile", config=config,
+            seed=args.seed,
+            wall_s=c_single["wall_s"] + c_batched["wall_s"])
+        compile_record.stage_times.update({
+            "serve.compiled_single": c_single["wall_s"],
+            "serve.compiled_batched": c_batched["wall_s"],
+            "serve.interpreted_single": single["wall_s"],
+            "serve.interpreted_batched": batched["wall_s"],
+        })
+        compile_record.extra["compile"] = {
+            "passes_applied": compiled.compile_passes,
+            "executor_plan": compiled.executor_plan,
+            "compiled_single_rps": c_single["throughput_rps"],
+            "compiled_batched_rps": c_batched["throughput_rps"],
+            "interpreted_single_rps": single["throughput_rps"],
+            "interpreted_batched_rps": batched["throughput_rps"],
+            "speedup_single": 1 / max(delta_single, 1e-9),
+            "speedup_batched": 1 / max(delta_batched, 1e-9),
+        }
+        if not args.no_gate:
+            compile_report = regress.gate_run(ledger, compile_record)
+            print()
+            print(compile_report.to_markdown())
+            failed = failed or not compile_report.passed
+        if not args.no_append:
+            ledger.append(compile_record)
+            print(f"\nappended compile record to {ledger.path}")
 
     if args.json_out:
         with open(args.json_out, "w") as handle:

@@ -72,9 +72,34 @@ class _HDPipeline:
     num_classes: int
     _train_rng: np.random.Generator
 
+    #: Optional :class:`repro.pipeline.StageCache` shared across eval /
+    #: re-fit calls — outputs of frozen upstream stages (extract,
+    #: encode) are memoized under state+input digests, so repeated
+    #: A/B-eval sweeps skip the heavy GEMMs.  ``None`` disables.
+    stage_cache = None
+
+    def set_stage_cache(self, cache) -> None:
+        """Attach (or clear, with ``None``) a shared stage cache."""
+        self.stage_cache = cache
+
+    def compiled(self, passes: str = "all", executors=None) -> StageGraph:
+        """Frozen, compiled snapshot of the live graph.
+
+        Freezes the current training state via ``topology()`` /
+        ``state_arrays()`` (passes must not run on live graphs — they
+        fold the weights they see), then applies the compiler; see
+        :func:`repro.pipeline.compile_graph`.
+        """
+        from ..pipeline import compile_graph
+        frozen = StageGraph.from_topology(self.graph.topology(),
+                                          self.graph.state_arrays())
+        return compile_graph(frozen, passes=passes,
+                             executors=executors).graph
+
     def encode(self, images: np.ndarray) -> np.ndarray:
         """Query hypervectors for a batch of NCHW images."""
-        return self.graph.run(images, stop="classify")
+        return self.graph.run(images, stop="classify",
+                              cache=self.stage_cache)
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         encoded = self.encode(images)
@@ -336,7 +361,7 @@ class NSHD(_HDPipeline):
     def predict_features(self, raw_features: np.ndarray) -> np.ndarray:
         """Predict from precomputed extractor features."""
         encoded = self.graph.run(raw_features, start="scale",
-                                 stop="classify")
+                                 stop="classify", cache=self.stage_cache)
         return np.asarray(self.graph.call("classify", encoded))
 
     def accuracy_features(self, raw_features: np.ndarray,
@@ -354,7 +379,8 @@ class NSHD(_HDPipeline):
         logits are cached up front, which is the efficiency argument of
         Sec. VI-A (no CNN backpropagation anywhere in NSHD training).
         """
-        raw_features = self.graph.call("extract", images)
+        raw_features = self.graph.call("extract", images,
+                                       cache=self.stage_cache)
         teacher_logits = (self.teacher.logits(images)
                           if self.use_distillation else None)
         return self.fit_features(raw_features, labels, teacher_logits,
@@ -508,7 +534,7 @@ class BaselineHD(_HDPipeline):
     def predict_features(self, raw_features: np.ndarray) -> np.ndarray:
         """Predict from precomputed extractor features."""
         encoded = self.graph.run(raw_features, start="scale",
-                                 stop="classify")
+                                 stop="classify", cache=self.stage_cache)
         return np.asarray(self.graph.call("classify", encoded))
 
     def accuracy_features(self, raw_features: np.ndarray,
@@ -520,7 +546,8 @@ class BaselineHD(_HDPipeline):
             batch_size: int = 64, checkpoint_path: Optional[str] = None,
             checkpoint_every: int = 1, resume: bool = False,
             callbacks: Optional[List] = None) -> Dict[str, List[float]]:
-        raw_features = self.graph.call("extract", images)
+        raw_features = self.graph.call("extract", images,
+                                       cache=self.stage_cache)
         return self.fit_features(raw_features, labels,
                                  epochs=epochs, batch_size=batch_size,
                                  checkpoint_path=checkpoint_path,
@@ -545,7 +572,8 @@ class BaselineHD(_HDPipeline):
             scaled = self.scaler.transform(raw_features)
         else:
             scaled = self.scaler.fit_transform(raw_features)
-        encoded = self.graph.call("encode", scaled)
+        encoded = self.graph.call("encode", scaled,
+                                  cache=self.stage_cache)
         return self._trainer_fit_checkpointed(
             encoded, labels, epochs, batch_size, start_epoch, saved_history,
             checkpoint_path, checkpoint_every, callbacks=callbacks)
@@ -588,7 +616,8 @@ class VanillaHD(_HDPipeline):
             features = self.scaler.transform(flat)
         else:
             features = self.scaler.fit_transform(flat)
-        encoded = self.graph.call("encode", features)
+        encoded = self.graph.call("encode", features,
+                                  cache=self.stage_cache)
         return self._trainer_fit_checkpointed(
             encoded, labels, epochs, batch_size, start_epoch, saved_history,
             checkpoint_path, checkpoint_every, callbacks=callbacks)

@@ -6,19 +6,39 @@ live graphs for training, checkpoints and serve bundles persist graph
 topology + per-stage arrays, and the serving engine executes frozen
 graphs.  See ``docs/STAGE_GRAPH.md`` for the protocol and serialization
 layout.
+
+The compiler layer (``compile_graph``) rewrites frozen graphs with
+fusion passes (:mod:`repro.pipeline.passes`), binds pluggable per-stage
+executors (:mod:`repro.pipeline.executors`), and the digest-keyed
+:class:`StageCache` (:mod:`repro.pipeline.cache`) memoizes stage
+outputs across re-fit / A/B-eval workflows.
 """
 
+from .cache import StageCache, array_digest, canonical_json, stage_digest
+from .compile import (CompileError, CompilePlan, CompileResult,
+                      compile_graph, resolve_passes)
+from .executors import (EXECUTORS, ExecutorStage, StageExecutor,
+                        register_executor)
 from .graph import StageGraph
+from .passes import PASSES, fuse_pool, fuse_scale_encode, register_pass
 from .stages import (STAGE_TYPES, ClassifyStage, EncodeStage, ExtractStage,
-                     FeatureScaler, FlattenStage, ManifoldReduceStage,
-                     PackedClassifyStage, ScaleStage, Stage, StageError,
+                     FeatureScaler, FlattenStage, FusedEncodeStage,
+                     ManifoldReduceStage, PackedClassifyStage,
+                     ScalePoolStage, ScaleStage, Stage, StageError,
                      clamped_norms, cosine_similarities, encoder_spec,
                      register_stage, stage_from_spec)
 
 __all__ = [
     "Stage", "StageGraph", "StageError", "FeatureScaler",
     "ExtractStage", "FlattenStage", "ScaleStage", "ManifoldReduceStage",
-    "EncodeStage", "ClassifyStage", "PackedClassifyStage",
+    "EncodeStage", "FusedEncodeStage", "ScalePoolStage",
+    "ClassifyStage", "PackedClassifyStage",
     "cosine_similarities", "clamped_norms", "encoder_spec",
     "register_stage", "stage_from_spec", "STAGE_TYPES",
+    # compiler layer
+    "compile_graph", "CompileError", "CompilePlan", "CompileResult",
+    "resolve_passes", "PASSES", "register_pass",
+    "fuse_scale_encode", "fuse_pool",
+    "EXECUTORS", "StageExecutor", "ExecutorStage", "register_executor",
+    "StageCache", "canonical_json", "array_digest", "stage_digest",
 ]

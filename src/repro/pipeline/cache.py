@@ -1,0 +1,186 @@
+"""Digest-keyed stage-output caching for :class:`StageGraph` runs.
+
+Re-fit and A/B-eval workflows (``bench_gate.py``, ``check_quality.py``,
+shadow-promotion exports) repeatedly push the *same* batches through the
+*same* frozen upstream stages — the truncated-CNN extract and the
+projection GEMM dominate, and their outputs are pure functions of
+``(stage weights, stage spec, input batch)``.  A :class:`StageCache`
+memoizes those outputs under a chained digest key::
+
+    key_0 = sha1(input-batch digest)
+    key_i = sha1(key_{i-1} + stage_i digest)
+
+where each stage digest covers the stage's canonical spec JSON *and*
+every one of its state arrays.  Any change to an upstream weight, a
+hyperparameter, or the input bytes therefore changes every downstream
+key — invalidation is automatic and there is no way to read a stale
+entry.  The cache is a bounded (entries *and* bytes) thread-safe LRU.
+
+Cached outputs are returned **by reference**: callers must treat stage
+outputs as immutable (every stage in this package already does).
+
+This module also owns :func:`canonical_json` — the deterministic
+(sorted keys, compact separators, normalized scalars) JSON encoder used
+for topology digests and stage digests — so cache keys are stable
+across processes and platforms.
+
+Metrics: ``stagecache.hits`` / ``stagecache.misses`` /
+``stagecache.evictions``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..telemetry import get_registry
+
+__all__ = ["StageCache", "canonical_json", "array_digest", "stage_digest"]
+
+
+def _canonical(obj: Any) -> Any:
+    """Normalize scalars so equal values always serialize identically."""
+    if isinstance(obj, dict):
+        return {str(key): _canonical(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(value) for value in obj]
+    if isinstance(obj, bool) or obj is None or isinstance(obj, str):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError("canonical JSON cannot encode NaN/Inf")
+        return value + 0.0  # collapses -0.0 to 0.0
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__} values for JSON")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON emit: sorted keys, compact separators,
+    numpy scalars coerced, ``-0.0`` normalized, NaN/Inf rejected."""
+    return json.dumps(_canonical(obj), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def array_digest(array: np.ndarray) -> bytes:
+    """sha1 over an array's dtype, shape, and raw bytes."""
+    arr = np.ascontiguousarray(array)
+    digest = hashlib.sha1()
+    digest.update(str(arr.dtype).encode("utf-8"))
+    digest.update(repr(arr.shape).encode("utf-8"))
+    digest.update(arr.tobytes())
+    return digest.digest()
+
+
+def stage_digest(stage) -> bytes:
+    """sha1 over a stage's canonical spec plus all its state arrays."""
+    digest = hashlib.sha1(b"stage-digest-v1")
+    digest.update(canonical_json(stage.spec()).encode("utf-8"))
+    arrays = stage.state_arrays()
+    for key in sorted(arrays):
+        digest.update(key.encode("utf-8"))
+        digest.update(array_digest(arrays[key]))
+    return digest.digest()
+
+
+class StageCache:
+    """Bounded, thread-safe LRU of stage outputs keyed by digest chains.
+
+    Pass an instance to :meth:`StageGraph.run` / :meth:`StageGraph.call`
+    (or set ``pipeline.set_stage_cache``) — stages whose ``cacheable``
+    flag is true (everything except the cheap classify stages) are
+    skipped on a key hit.
+    """
+
+    def __init__(self, max_entries: int = 64,
+                 max_bytes: int = 256 << 20):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._data: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- keying --------------------------------------------------------
+    def input_key(self, batch: np.ndarray) -> bytes:
+        """Chain seed: digest of the raw input batch."""
+        return hashlib.sha1(
+            b"stagecache-input" + array_digest(np.asarray(batch))).digest()
+
+    def extend_key(self, key: bytes, stage) -> bytes:
+        """Chain step: fold one stage's digest into the running key."""
+        return hashlib.sha1(key + stage_digest(stage)).digest()
+
+    # -- storage -------------------------------------------------------
+    def lookup(self, key: bytes) -> Optional[np.ndarray]:
+        registry = get_registry()
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                registry.inc("stagecache.misses")
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            registry.inc("stagecache.hits")
+            return value
+
+    def store(self, key: bytes, value: np.ndarray) -> None:
+        value = np.asarray(value)
+        if int(value.nbytes) > self.max_bytes:
+            return  # would evict the whole cache for one entry
+        registry = get_registry()
+        with self._lock:
+            old = self._data.pop(key, None)
+            if old is not None:
+                self._bytes -= int(old.nbytes)
+            self._data[key] = value
+            self._bytes += int(value.nbytes)
+            while self._data and (len(self._data) > self.max_entries
+                                  or self._bytes > self.max_bytes):
+                _, evicted = self._data.popitem(last=False)
+                self._bytes -= int(evicted.nbytes)
+                self.evictions += 1
+                registry.inc("stagecache.evictions")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return (self.hits / total) if total else 0.0
+
+    def info(self) -> Dict[str, Any]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {"entries": len(self._data),
+                    "bytes": int(self._bytes),
+                    "hits": int(self.hits),
+                    "misses": int(self.misses),
+                    "evictions": int(self.evictions),
+                    "hit_rate": (self.hits / total) if total else 0.0,
+                    "max_entries": self.max_entries,
+                    "max_bytes": self.max_bytes}
+
+    def __repr__(self) -> str:
+        return (f"StageCache(entries={len(self)}, hits={self.hits}, "
+                f"misses={self.misses})")

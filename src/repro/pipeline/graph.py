@@ -24,6 +24,7 @@ pre-refactor behaviour where predict did not emit per-stage spans.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
@@ -31,6 +32,7 @@ import numpy as np
 
 from ..telemetry import request_span, span
 from ..telemetry.reqtrace import HUB as _HUB
+from .cache import StageCache, canonical_json
 from .stages import Stage, StageError, stage_from_spec
 
 __all__ = ["StageGraph"]
@@ -102,21 +104,34 @@ class StageGraph:
         return self._index[name]
 
     def call(self, name: str, batch: np.ndarray,
-             ctx: Optional[dict] = None) -> np.ndarray:
+             ctx: Optional[dict] = None,
+             cache: Optional[StageCache] = None) -> np.ndarray:
         """Run a single stage *with* its telemetry span.
 
         This is what training loops use for per-batch stage execution —
         the span stream is identical to the hand-instrumented
-        pre-refactor loops.
+        pre-refactor loops.  With a :class:`StageCache` the stage's
+        output is memoized under ``sha1(input digest + stage digest)``;
+        a hit still emits the span (with near-zero duration — that is
+        the truthful accounting for skipped work).
         """
         stage = self.stage(name)
         with span(stage.span_name,
                   nbytes=int(np.asarray(batch).nbytes)):
+            if cache is not None and getattr(stage, "cacheable", True):
+                key = cache.extend_key(cache.input_key(batch), stage)
+                hit = cache.lookup(key)
+                if hit is not None:
+                    return hit
+                out = stage(batch, ctx)
+                cache.store(key, out)
+                return out
             return stage(batch, ctx)
 
     def run(self, batch: np.ndarray, start: Optional[str] = None,
             stop: Optional[str] = None, ctx: Optional[dict] = None,
-            instrument: bool = False) -> np.ndarray:
+            instrument: bool = False,
+            cache: Optional[StageCache] = None) -> np.ndarray:
         """Execute stages ``[start, stop)`` (``stop`` exclusive) in order.
 
         ``instrument=True`` wraps each stage in its ``stage.*`` telemetry
@@ -129,10 +144,23 @@ class StageGraph:
         hub-only span — per-request stage latency shows up in the flight
         recorder / trace files without touching the aggregate ledger's
         stage accounting.
+
+        With a :class:`StageCache` each cacheable stage's output is
+        memoized under the running digest chain ``sha1(... + stage
+        digest)`` seeded from the input batch digest; hits skip the
+        stage (and its spans) entirely — no work, no accounting.
         """
         out = batch
         traced = _HUB.enabled and _HUB.current() is not None
+        key = cache.input_key(batch) if cache is not None else b""
         for stage in self._slice(start, stop):
+            if cache is not None:
+                key = cache.extend_key(key, stage)
+                if getattr(stage, "cacheable", True):
+                    hit = cache.lookup(key)
+                    if hit is not None:
+                        out = hit
+                        continue
             if instrument:
                 with span(stage.span_name,
                           nbytes=int(np.asarray(out).nbytes)):
@@ -146,6 +174,8 @@ class StageGraph:
                     out = stage(out, ctx)
             else:
                 out = stage(out, ctx)
+            if cache is not None and getattr(stage, "cacheable", True):
+                cache.store(key, out)
         return out
 
     # -- serialization -------------------------------------------------
@@ -155,7 +185,20 @@ class StageGraph:
                 "stages": [stage.spec() for stage in self.stages]}
 
     def topology_json(self) -> str:
-        return json.dumps(self.topology(), sort_keys=True)
+        """Canonical topology emit — byte-stable across processes.
+
+        Sorted keys, compact separators, numpy scalars coerced to
+        Python, ``-0.0`` normalized, NaN/Inf rejected: two processes
+        holding the same graph always emit identical bytes, so
+        :meth:`topology_digest` is a stable cross-process cache /
+        fingerprint key.
+        """
+        return canonical_json(self.topology())
+
+    def topology_digest(self) -> str:
+        """sha1 hex digest of :meth:`topology_json` (stable identity)."""
+        return hashlib.sha1(
+            self.topology_json().encode("utf-8")).hexdigest()
 
     def state_arrays(self) -> Dict[str, np.ndarray]:
         """Merged per-stage weight arrays (historical flat key names)."""

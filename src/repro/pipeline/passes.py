@@ -1,0 +1,114 @@
+"""Graph-rewrite fusion passes for the stage-graph compiler.
+
+A *pass* is a pure function ``pass(graph) -> Optional[StageGraph]``: it
+returns a **new** graph with the rewrite applied (sharing the frozen
+stage objects it did not touch), or ``None`` when the pattern does not
+occur — the compiler uses that to report which passes actually fired.
+Passes never mutate their input graph, and every fused stage they
+produce is a registered, serializable stage type, so a compiled graph
+round-trips through ``topology()`` / ``from_topology`` like any other.
+
+Passes are registered in :data:`PASSES` (an ordered registry — the
+registration order is the canonical application order used by
+``passes="all"``).  Both shipped passes are *idempotent*: their output
+stages do not match their own patterns, so re-compiling a compiled
+topology is a fixed point (tested).
+
+Run passes on **frozen** graphs (``StageGraph.from_topology`` output or
+``pipeline.compiled()``): fusing folds the *current* weights into the
+fused stage, so a live training graph would silently stop tracking its
+trainers after fusion.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+import numpy as np
+
+from .graph import StageGraph
+from .stages import (EncodeStage, FusedEncodeStage, ManifoldReduceStage,
+                     ScalePoolStage, ScaleStage)
+
+__all__ = ["PASSES", "register_pass", "fuse_scale_encode", "fuse_pool"]
+
+#: Registered passes, in canonical application order.
+PASSES: "OrderedDict[str, Callable[[StageGraph], Optional[StageGraph]]]" \
+    = OrderedDict()
+
+
+def register_pass(name: str):
+    """Decorator adding a pass to the ordered registry under ``name``."""
+    def decorate(fn):
+        PASSES[name] = fn
+        return fn
+    return decorate
+
+
+@register_pass("fuse_scale_encode")
+def fuse_scale_encode(graph: StageGraph) -> Optional[StageGraph]:
+    """Fold adjacent ``scale → encode`` into one affine GEMM stage.
+
+    ``((x − μ)/σ) @ P  ==  x @ (P/σ[:, None]) + (−(μ/σ) @ P)`` — see
+    :class:`~repro.pipeline.stages.FusedEncodeStage` for the documented
+    float tolerance of the regrouping.
+    """
+    stages = list(graph.stages)
+    out, i, changed = [], 0, False
+    while i < len(stages):
+        stage = stages[i]
+        nxt = stages[i + 1] if i + 1 < len(stages) else None
+        if (type(stage) is ScaleStage and type(nxt) is EncodeStage
+                and stage.scaler.mean is not None):
+            out.append(FusedEncodeStage.from_scale_encode(stage, nxt))
+            i += 2
+            changed = True
+            continue
+        out.append(stage)
+        i += 1
+    if not changed:
+        return None
+    return StageGraph(out, name=graph.name)
+
+
+@register_pass("fuse_pool")
+def fuse_pool(graph: StageGraph) -> Optional[StageGraph]:
+    """Fold the reduce stage's max-pool into the upstream scale stage.
+
+    Rewrites ``scale → reduce(pooling=True)`` into ``scale_pool →
+    reduce(pooling=False)`` with the reduce stage re-shaped to the
+    pooled ``(C, H//2, W//2)`` input.  Bit-exact: the identical pooling
+    expressions run on the identical operands — only the stage boundary
+    moves (the ISSUE's extract-side fold is unsound because max does
+    not commute with the per-position affine scale in between; see
+    :class:`~repro.pipeline.stages.ScalePoolStage`).
+    """
+    stages = list(graph.stages)
+    out, i, changed = [], 0, False
+    while i < len(stages):
+        stage = stages[i]
+        nxt = stages[i + 1] if i + 1 < len(stages) else None
+        if (type(stage) is ScaleStage
+                and type(nxt) is ManifoldReduceStage and nxt.pooling
+                and stage.scaler.mean is not None):
+            out.append(ScalePoolStage.from_scale_reduce(stage, nxt))
+            weight = np.asarray(nxt.weight, dtype=np.float64)
+            bias = nxt.bias
+            bias = (None if bias is None
+                    else np.asarray(bias, dtype=np.float64))
+            c, h, w = nxt.feature_shape
+            out.append(ManifoldReduceStage(
+                (c, h // 2, w // 2), nxt.out_features, pooling=False,
+                weight_fn=lambda w_=weight: w_,
+                bias_fn=(None if bias is None
+                         else (lambda b_=bias: b_)),
+                name=nxt.name))
+            i += 2
+            changed = True
+            continue
+        out.append(stage)
+        i += 1
+    if not changed:
+        return None
+    return StageGraph(out, name=graph.name)

@@ -42,16 +42,22 @@ import numpy as np
 from ..hd.backend import pack_bipolar
 from ..hd.encoders import (Encoder, NonlinearEncoder,
                            RandomProjectionEncoder)
+from ..hd.hypervector import hard_quantize
 from ..hd.similarity import packed_classify
 from ..models.extractor import FeatureExtractor
+from ..telemetry import get_registry, span
 
 __all__ = [
     "Stage", "StageError", "FeatureScaler",
     "ExtractStage", "FlattenStage", "ScaleStage", "ManifoldReduceStage",
-    "EncodeStage", "ClassifyStage", "PackedClassifyStage",
+    "EncodeStage", "FusedEncodeStage", "ScalePoolStage",
+    "ClassifyStage", "PackedClassifyStage",
     "cosine_similarities", "clamped_norms", "encoder_spec",
     "register_stage", "stage_from_spec", "STAGE_TYPES",
 ]
+
+#: Encoder kinds the encode stages can (de)serialize.
+ENCODER_TYPES = ("nonlinear", "random_projection")
 
 _DEGENERATE_STD = 1e-8
 _NORM_FLOOR = 1e-12
@@ -163,6 +169,10 @@ class Stage:
 
     #: Topology discriminator (set by subclasses; used by the registry).
     stage_type: str = ""
+
+    #: Whether a :class:`~repro.pipeline.cache.StageCache` may memoize
+    #: this stage's output (the cheap classify stages opt out).
+    cacheable: bool = True
 
     def __init__(self, name: str):
         if not name:
@@ -515,8 +525,261 @@ class EncodeStage(Stage):
                 arrays["encoder.basis"], arrays["encoder.phase"],
                 quantize=quantize)
         else:
-            raise StageError(f"unknown encoder type {enc.get('type')!r}")
+            raise StageError(
+                f"unknown encoder type {enc.get('type')!r}; this build "
+                f"supports {sorted(ENCODER_TYPES)}")
         return cls(encoder, name=spec.get("name", "encode"))
+
+
+@register_stage
+class FusedEncodeStage(Stage):
+    """Scale ∘ Encode folded into one affine GEMM (compiler-generated).
+
+    Produced by the ``fuse_scale_encode`` pass: standardization
+    ``(x − μ)/σ`` followed by a projection GEMM is itself affine, so
+    the projection matrix is pre-scaled per input feature
+    (``P̂ = P / σ[:, None]``) and the constant term becomes an additive
+    offset (``o = −(μ/σ) @ P``) — one GEMM per batch instead of a
+    subtract/divide sweep over the full feature width plus a GEMM.
+
+    Float tolerance (documented + gated): the regrouping changes the
+    floating-point evaluation order, so *raw* encodings agree with the
+    unfused graph only to ~1e-9 relative; *quantized* (±1) encodings
+    and predicted labels are verified exactly by
+    ``compile_graph(verify_batch=...)``, the compile test-suite, and
+    ``scripts/check_stage_parity.sh``.
+    """
+
+    stage_type = "encode_fused"
+    span_name = "stage.encode"  # the fused stage is the encode step
+
+    def __init__(self, kind: str, matrix: np.ndarray, offset: np.ndarray,
+                 phase: Optional[np.ndarray] = None, quantize: bool = True,
+                 name: str = "encode"):
+        super().__init__(name)
+        if kind not in ENCODER_TYPES:
+            raise StageError(
+                f"unknown encoder type {kind!r}; this build supports "
+                f"{sorted(ENCODER_TYPES)}")
+        self.kind = str(kind)
+        self.matrix = np.asarray(matrix, dtype=np.float64)
+        self.offset = np.asarray(offset, dtype=np.float64)
+        if self.matrix.ndim != 2 or self.offset.shape != \
+                (self.matrix.shape[1],):
+            raise StageError(
+                "fused encode needs a (F, D) matrix and a (D,) offset")
+        self.phase = (None if phase is None
+                      else np.asarray(phase, dtype=np.float64))
+        if self.kind == "nonlinear" and self.phase is None:
+            raise StageError("fused nonlinear encode requires a phase")
+        self.quantize = bool(quantize)
+        self.fused_from = ["scale", "encode"]
+
+    @property
+    def in_features(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.matrix.shape[1])
+
+    @property
+    def encoder_type(self) -> str:
+        return self.kind
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        features = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        if features.shape[-1] != self.in_features:
+            raise StageError(
+                f"fused encode expects {self.in_features} features, got "
+                f"{features.shape[-1]}")
+        registry = get_registry()
+        registry.inc("hd.encode.samples", len(features))
+        registry.inc("hd.encode.macs",
+                     len(features) * self.in_features * self.dim)
+        with span("hd.encode.FusedEncodeStage",
+                  nbytes=int(features.nbytes)):
+            proj = features @ self.matrix + self.offset
+            if self.kind == "nonlinear":
+                raw = np.cos(proj + self.phase) * np.sin(proj)
+            else:
+                raw = proj
+            return hard_quantize(raw) if self.quantize else raw
+
+    def spec(self) -> Dict[str, Any]:
+        return {"type": self.stage_type, "name": self.name,
+                "encoder": {"type": self.kind,
+                            "in_features": self.in_features,
+                            "dim": self.dim,
+                            "quantize": bool(self.quantize)},
+                "fused": list(self.fused_from)}
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        if self.kind == "random_projection":
+            arrays = {"encoder.projection": self.matrix}
+        else:
+            arrays = {"encoder.basis": self.matrix,
+                      "encoder.phase": self.phase}
+        arrays["encoder.offset"] = self.offset
+        return arrays
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        matrix_key = ("encoder.projection"
+                      if self.kind == "random_projection"
+                      else "encoder.basis")
+        if matrix_key not in arrays or "encoder.offset" not in arrays:
+            raise StageError(
+                f"stage {self.name!r} requires {matrix_key} and "
+                "encoder.offset")
+        self.matrix = np.asarray(arrays[matrix_key], dtype=np.float64)
+        self.offset = np.asarray(arrays["encoder.offset"],
+                                 dtype=np.float64)
+        if self.kind == "nonlinear":
+            if "encoder.phase" not in arrays:
+                raise StageError(
+                    f"stage {self.name!r} requires encoder.phase")
+            self.phase = np.asarray(arrays["encoder.phase"],
+                                    dtype=np.float64)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> "FusedEncodeStage":
+        enc = spec.get("encoder") or {}
+        kind = enc.get("type")
+        if kind not in ENCODER_TYPES:
+            raise StageError(
+                f"unknown encoder type {kind!r}; this build supports "
+                f"{sorted(ENCODER_TYPES)}")
+        matrix_key = ("encoder.projection" if kind == "random_projection"
+                      else "encoder.basis")
+        if matrix_key not in arrays or "encoder.offset" not in arrays:
+            raise StageError(
+                f"fused encode stage requires {matrix_key} and "
+                "encoder.offset")
+        stage = cls(kind, arrays[matrix_key], arrays["encoder.offset"],
+                    phase=arrays.get("encoder.phase"),
+                    quantize=bool(enc.get("quantize", True)),
+                    name=spec.get("name", "encode"))
+        stage.fused_from = list(spec.get("fused") or ["scale", "encode"])
+        return stage
+
+    @classmethod
+    def from_scale_encode(cls, scale: "ScaleStage", encode: "EncodeStage"
+                          ) -> "FusedEncodeStage":
+        """Fold a fitted scale stage into the downstream encode GEMM."""
+        scaler = scale.scaler
+        if scaler.mean is None:
+            raise StageError("cannot fuse an unfitted scale stage")
+        mean = np.asarray(scaler.mean, dtype=np.float64)
+        std = np.asarray(scaler.std, dtype=np.float64)
+        encoder = encode.encoder
+        if isinstance(encoder, RandomProjectionEncoder):
+            base = np.asarray(encoder.projection, dtype=np.float64)
+            kind, phase = "random_projection", None
+        elif isinstance(encoder, NonlinearEncoder):
+            base = np.asarray(encoder.basis, dtype=np.float64)
+            kind = "nonlinear"
+            phase = np.asarray(encoder.phase, dtype=np.float64)
+        else:
+            raise StageError(
+                f"cannot fuse encoder of type {type(encoder).__name__}")
+        if mean.shape[0] != base.shape[0]:
+            raise StageError(
+                f"scale stage is fitted for {mean.shape[0]} features but "
+                f"the encoder expects {base.shape[0]}")
+        stage = cls(kind, base / std[:, None], -(mean / std) @ base,
+                    phase=phase, quantize=bool(encode.quantize),
+                    name=encode.name)
+        stage.fused_from = [scale.name, encode.name]
+        return stage
+
+
+@register_stage
+class ScalePoolStage(Stage):
+    """Standardize-then-max-pool fused stage (compiler-generated).
+
+    Produced by the ``fuse_pool`` pass.  The pool cannot legally cross
+    the scale stage upward into *extract* — standardization is a
+    per-position affine map with distinct ``μ/σ`` per position, and
+    ``max`` does not commute with it — so the pass folds the pool
+    *down* out of :class:`ManifoldReduceStage` into the scale step
+    instead.  That fold is **bit-exact**: the identical crop / reshape
+    / ``max`` expressions run on the identical operands in the same
+    order; only the stage boundary moves.  The win is that the
+    full-width scaled intermediate dies immediately after pooling
+    (4× smaller downstream batch rows) and the reduce stage degenerates
+    to a plain GEMM.
+    """
+
+    stage_type = "scale_pool"
+    span_name = "stage.scale"  # the fused stage is the scale step
+
+    def __init__(self, feature_shape: Sequence[int],
+                 scaler: Optional[FeatureScaler] = None,
+                 name: str = "scale"):
+        super().__init__(name)
+        if len(feature_shape) != 3:
+            raise ValueError("feature_shape must be (C, H, W)")
+        self.feature_shape = tuple(int(s) for s in feature_shape)
+        self.scaler = scaler if scaler is not None else FeatureScaler()
+        self.fused_from = ["scale", "reduce"]
+
+    def __call__(self, batch: np.ndarray, ctx: Optional[dict] = None
+                 ) -> np.ndarray:
+        scaled = self.scaler.transform(
+            np.asarray(batch, dtype=np.float64))
+        c, h, w = self.feature_shape
+        x = scaled.reshape(-1, c, h, w)
+        n = len(x)
+        x = x[:, :, :h // 2 * 2, :w // 2 * 2]
+        x = x.reshape(n, c, h // 2, 2, w // 2, 2).max(axis=(3, 5))
+        return x.reshape(n, -1)
+
+    def spec(self) -> Dict[str, Any]:
+        return {"type": self.stage_type, "name": self.name,
+                "feature_shape": [int(s) for s in self.feature_shape],
+                "fused": list(self.fused_from)}
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        if self.scaler.mean is None:
+            return {}
+        return {"scaler.mean": np.asarray(self.scaler.mean),
+                "scaler.std": np.asarray(self.scaler.std)}
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        if "scaler.mean" not in arrays:
+            raise StageError(
+                f"stage {self.name!r} requires scaler.mean/scaler.std")
+        self.scaler.mean = np.asarray(arrays["scaler.mean"],
+                                      dtype=np.float64)
+        self.scaler.std = np.asarray(arrays["scaler.std"],
+                                     dtype=np.float64)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any],
+                  arrays: Dict[str, np.ndarray]) -> "ScalePoolStage":
+        stage = cls(spec["feature_shape"], name=spec.get("name", "scale"))
+        stage.load_arrays(arrays)
+        stage.fused_from = list(spec.get("fused") or ["scale", "reduce"])
+        return stage
+
+    @classmethod
+    def from_scale_reduce(cls, scale: "ScaleStage",
+                          reduce: "ManifoldReduceStage"
+                          ) -> "ScalePoolStage":
+        """Fold a reduce stage's pooling into the upstream scale step."""
+        if scale.scaler.mean is None:
+            raise StageError("cannot fuse an unfitted scale stage")
+        if not reduce.pooling:
+            raise StageError(
+                f"reduce stage {reduce.name!r} has no pooling to fold")
+        frozen = FeatureScaler()
+        frozen.mean = np.asarray(scale.scaler.mean, dtype=np.float64)
+        frozen.std = np.asarray(scale.scaler.std, dtype=np.float64)
+        stage = cls(reduce.feature_shape, scaler=frozen, name=scale.name)
+        stage.fused_from = [scale.name, reduce.name]
+        return stage
 
 
 @register_stage
@@ -533,6 +796,7 @@ class ClassifyStage(Stage):
 
     stage_type = "classify"
     span_name = "stage.similarity"  # historical telemetry name
+    cacheable = False  # argmax over cached encodings is already cheap
 
     def __init__(self, matrix_fn: Callable[[], np.ndarray],
                  frozen: bool = False, name: str = "classify"):
@@ -607,6 +871,7 @@ class PackedClassifyStage(Stage):
 
     stage_type = "classify_packed"
     span_name = "stage.similarity"
+    cacheable = False
 
     def __init__(self, packed_classes: np.ndarray, dim: int,
                  name: str = "classify_packed"):

@@ -37,7 +37,7 @@ from ..hardware.quantize import QuantizedTensor, quantize_symmetric
 from ..hd.hypervector import hard_quantize, is_bipolar
 from ..nn.serialize import (CheckpointError, load_state_with_manifest,
                             manifest_section, save_state)
-from ..pipeline import StageError, StageGraph
+from ..pipeline import (CompileError, CompilePlan, StageError, StageGraph)
 from ..telemetry import (config_fingerprint, decode_non_finite,
                          encode_non_finite, git_info)
 
@@ -82,7 +82,9 @@ class ModelBundle:
                       baseline_features: Optional[np.ndarray] = None,
                       baseline_labels: Optional[np.ndarray] = None,
                       baseline_sample: int = 2048,
-                      baseline_bins: int = 10) -> "ModelBundle":
+                      baseline_bins: int = 10,
+                      compile_passes=None,
+                      compile_executors=None) -> "ModelBundle":
         """Capture a trained pipeline's inference closure.
 
         Parameters
@@ -117,6 +119,18 @@ class ModelBundle:
             baseline rows; the sketches only need O(1k) rows.
         baseline_bins:
             Number of PSI bins in the per-feature sketches.
+        compile_passes / compile_executors:
+            The serving compile plan to persist under
+            ``info["compile"]``: ``compile_passes`` is ``"all"`` or a
+            list of registered pass names, ``compile_executors`` is
+            ``"auto"`` or a ``{stage name → executor name}`` map (see
+            :func:`repro.pipeline.compile_graph`).  The **arrays stay
+            uncompiled/canonical** — compilation happens at engine
+            build time, so the same bundle can be served interpreted or
+            compiled.  Unknown names are rejected here, at export time.
+            Bundles exported without a plan (including every
+            pre-compile bundle) decode to the empty plan: passes
+            default to none.
         """
         scaler = getattr(pipeline, "scaler", None)
         if scaler is None or scaler.mean is None:
@@ -156,6 +170,14 @@ class ModelBundle:
             "quantize_bits": int(quantize_bits) if quantize_bits else None,
             "graph": topology,
         }
+
+        if compile_passes is not None or compile_executors is not None:
+            try:
+                plan = CompilePlan(passes=compile_passes,
+                                   executors=compile_executors)
+            except CompileError as exc:
+                raise BundleError(f"invalid compile plan: {exc}") from exc
+            info["compile"] = plan.to_dict()
 
         info["encoder"] = dict(specs["encode"]["encoder"])
         if "extract" in specs:
@@ -543,6 +565,16 @@ class ModelBundle:
         except StageError as exc:
             raise BundleError(
                 f"bundle stage graph could not be built: {exc}") from exc
+
+    def compile_plan(self) -> CompilePlan:
+        """The persisted serving compile plan (empty for pre-compile
+        bundles: no passes, no executors — they serve interpreted
+        exactly as before)."""
+        try:
+            return CompilePlan.from_dict(self.info.get("compile"))
+        except CompileError as exc:
+            raise BundleError(
+                f"bundle carries an invalid compile plan: {exc}") from exc
 
     @property
     def binary_classes(self) -> bool:

@@ -36,7 +36,8 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from ..hd.similarity import classify
-from ..pipeline import PackedClassifyStage
+from ..pipeline import (ClassifyStage, CompileError, ExtractStage,
+                        FlattenStage, StageCache, compile_graph)
 from ..telemetry import get_registry, request_span, span
 from ..telemetry.quality import DriftMonitor, QualityBaseline
 from ..utils.rng import fresh_rng
@@ -116,6 +117,22 @@ class InferenceEngine:
         without a baseline raises :class:`BundleError`.
     quality_window:
         Rolling-window size (rows) for the drift monitor.
+    passes:
+        Compile passes to apply to the frozen graph: ``"all"``,
+        ``"none"``, or a list of registered pass names.  Default
+        ``None`` uses the bundle's persisted plan
+        (``info["compile"]``); pre-compile bundles default to none.
+    executors:
+        Executor assignment: ``"auto"``, a ``{stage name → executor
+        name}`` map, or ``None`` for the bundle's plan.  The classify
+        entry interacts with ``use_packed``: an explicit ``use_packed``
+        always wins, an explicit classify executor settles the default,
+        otherwise the historical auto-enable rule applies.
+    stage_cache_size:
+        Entry capacity of the digest-keyed :class:`StageCache` placed
+        under ``encode_features`` batch runs; 0 (default) disables it
+        (the per-sample encoded LRU already covers the request path —
+        the stage cache pays off for repeated *batch* eval workloads).
     """
 
     def __init__(self, bundle: ModelBundle,
@@ -124,7 +141,10 @@ class InferenceEngine:
                  build_extractor: bool = True,
                  selfcheck: bool = True,
                  quality: Optional[bool] = None,
-                 quality_window: int = 512):
+                 quality_window: int = 512,
+                 passes=None,
+                 executors=None,
+                 stage_cache_size: int = 0):
         bundle.validate()
         self.bundle = bundle
         info = bundle.info
@@ -133,19 +153,37 @@ class InferenceEngine:
         self.pipeline_name = str(info["pipeline"])
 
         # -- the executable: one frozen stage graph --------------------
-        self.graph = bundle.build_graph(build_extractor=build_extractor)
-        self._classify = self.graph.stage("classify")
-        encode_stage = self.graph.stage("encode")
+        base = bundle.build_graph(build_extractor=build_extractor)
+        plan = bundle.compile_plan()
+        if passes is None:
+            passes = list(plan.passes)
+        if executors is None:
+            executors = plan.executors
+        classify_stage = base.stages[-1]
+        if not isinstance(classify_stage, ClassifyStage):
+            raise BundleError(
+                f"bundle graph must end in a classify stage, got "
+                f"{type(classify_stage).__name__}")
+        encode_stage = next(
+            (stage for stage in base.stages
+             if getattr(stage, "encoder_type", None) is not None), None)
+        if encode_stage is None:
+            raise BundleError("bundle graph has no encode stage")
         self._encoder_type = encode_stage.encoder_type
         self._encoder_quantize = bool(encode_stage.quantize)
-        self.extractor = (self.graph.stage("extract").extractor
-                          if "extract" in self.graph else None)
 
-        # -- packed fast-path selection --------------------------------
+        # -- packed fast-path selection (now an executor binding) ------
         binary = bundle.binary_classes
+        classify_name = classify_stage.name
+        exec_map = (dict(executors) if isinstance(executors, dict)
+                    else {})
         if use_packed is None:
-            use_packed = binary and self._encoder_quantize \
-                and self._encoder_type == "random_projection"
+            explicit = exec_map.get(classify_name)
+            if explicit is not None:
+                use_packed = explicit == "packed"
+            else:
+                use_packed = binary and self._encoder_quantize \
+                    and self._encoder_type == "random_projection"
         if use_packed and not binary:
             raise BundleError(
                 "use_packed=True requires a bipolar class matrix — "
@@ -155,11 +193,45 @@ class InferenceEngine:
                 "use_packed=True requires a quantizing encoder (the "
                 "queries must be bipolar to bit-pack); this bundle's "
                 "encoder emits continuous hypervectors")
-        self.use_packed = bool(use_packed)
-        self._packed_stage = (PackedClassifyStage.from_classify(
-            self._classify) if self.use_packed else None)
+        if use_packed:
+            exec_map[classify_name] = "packed"
+        elif exec_map.get(classify_name) == "packed":
+            del exec_map[classify_name]
+
+        try:
+            result = compile_graph(base, passes=passes,
+                                   executors=exec_map)
+        except CompileError as exc:
+            raise BundleError(f"bundle graph failed to compile: "
+                              f"{exc}") from exc
+        self.graph = result.graph
+        self.compile_passes = list(result.passes_applied)
+        self.executor_plan = dict(result.executor_plan)
+
+        # The float classify stage (for similarities / drift monitor)
+        # and the executor actually answering requests.
+        self._classify_exec = self.graph.stages[-1]
+        self._classify = getattr(self._classify_exec, "inner",
+                                 self._classify_exec)
+        self._packed_stage = getattr(self._classify_exec, "packed", None)
+        self.use_packed = self._packed_stage is not None
+
+        # Feature interface: the first stage after extract/flatten (the
+        # fuse passes may have renamed or removed interior stages).
+        first = self.graph.stages[0]
+        first_inner = getattr(first, "inner", first)
+        self._has_front = isinstance(first_inner,
+                                     (ExtractStage, FlattenStage))
+        names = self.graph.names
+        self._feature_entry = names[1] if self._has_front else names[0]
+        self._classify_name = names[-1]
+        self.extractor = (first_inner.extractor
+                          if isinstance(first_inner, ExtractStage)
+                          else None)
 
         self._cache = _EncodedLRU(cache_size) if cache_size > 0 else None
+        self._stage_cache = (StageCache(max_entries=stage_cache_size)
+                             if stage_cache_size > 0 else None)
 
         # -- streaming drift monitor (training baseline in manifest) ---
         baseline_dict = info.get("quality_baseline")
@@ -226,8 +298,10 @@ class InferenceEngine:
         registry = get_registry()
         if self._cache is None:
             with span("serve.encode", nbytes=int(raw_features.nbytes)):
-                return self.graph.run(raw_features, start="scale",
-                                      stop="classify")
+                return self.graph.run(raw_features,
+                                      start=self._feature_entry,
+                                      stop=self._classify_name,
+                                      cache=self._stage_cache)
 
         keys = [hashlib.sha1(np.ascontiguousarray(row).tobytes()).digest()
                 for row in raw_features]
@@ -244,8 +318,10 @@ class InferenceEngine:
         if miss_idx:
             misses = raw_features[miss_idx]
             with span("serve.encode", nbytes=int(misses.nbytes)):
-                fresh = self.graph.run(misses, start="scale",
-                                       stop="classify")
+                fresh = self.graph.run(misses,
+                                       start=self._feature_entry,
+                                       stop=self._classify_name,
+                                       cache=self._stage_cache)
             for j, i in enumerate(miss_idx):
                 encoded[i] = fresh[j]
                 self._cache.put(keys[i], fresh[j].copy())
@@ -271,13 +347,12 @@ class InferenceEngine:
         registry.inc("serve.samples", len(raw_features))
         with span("serve.predict", nbytes=int(raw_features.nbytes)):
             encoded = self.encode_features(raw_features)
-            # The classify stage runs outside graph.run (packed-path
-            # selection happens here), so give it its own request-trace
-            # stage span — every StageGraph stage shows up per request.
-            if self._packed_stage is not None:
-                stage = self._packed_stage
-            else:
-                stage = self._classify
+            # The classify stage runs outside graph.run (the encoded
+            # LRU sits between), so give it its own request-trace stage
+            # span — every StageGraph stage shows up per request.  The
+            # stage itself is whatever executor compile() bound (float
+            # cosine or the packed XOR-popcount wrapper).
+            stage = self._classify_exec
             with request_span(getattr(stage, "span_name",
                                       "stage.similarity")):
                 labels = np.asarray(stage(encoded))
@@ -301,13 +376,11 @@ class InferenceEngine:
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Class predictions for raw NCHW images (end-to-end)."""
         images = np.asarray(images)
-        front = self.graph.names[0]
-        if front in ("extract", "flatten"):
-            raw = self.graph.run(images, stop="scale")
-        else:
+        if not self._has_front:
             raise BundleError(
                 "engine was built with build_extractor=False; "
                 "use predict_features with precomputed features")
+        raw = self.graph.run(images, stop=self._feature_entry)
         return self.predict_features(raw)
 
     def accuracy_features(self, raw_features: np.ndarray,
@@ -349,6 +422,11 @@ class InferenceEngine:
             return {"entries": 0, "hits": 0, "misses": 0, "max_entries": 0}
         return self._cache.info()
 
+    def stage_cache_info(self) -> Optional[Dict[str, Any]]:
+        """Digest-keyed stage-cache stats; ``None`` when disabled."""
+        return (None if self._stage_cache is None
+                else self._stage_cache.info())
+
     def describe(self) -> Dict[str, Any]:
         """Engine facts for /healthz and logs."""
         return {
@@ -361,6 +439,9 @@ class InferenceEngine:
             "has_extractor": self.extractor is not None,
             "has_manifold": "reduce" in self.graph,
             "cache": self.cache_info(),
+            "compile": {"passes": list(self.compile_passes),
+                        "executors": dict(self.executor_plan),
+                        "stage_cache": self.stage_cache_info()},
             "quality": (None if self.quality is None
                         else self.quality.describe()),
             "config_fingerprint": self.bundle.info.get(
